@@ -1,0 +1,20 @@
+//! # msc-analog — the tag's analog front end and energy system
+//!
+//! Behavioral models of the hardware the paper prototypes: the
+//! high-bandwidth clamp rectifier (vs. basic and WISP references), the
+//! AD9235-class ADC with EN duty cycling and V_ref tuning, the MP3-37
+//! solar harvester + BQ25570 energy buffer, and the Table-3 power budget.
+
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod harvester;
+pub mod power;
+pub mod rectifier;
+pub mod wakeup;
+
+pub use adc::{Adc, DutyCycler};
+pub use harvester::{EnergyBuffer, Light, SolarHarvester};
+pub use power::PowerBudget;
+pub use rectifier::{dbm_to_envelope_volts, Rectifier, RectifierKind};
+pub use wakeup::WakeUpReceiver;

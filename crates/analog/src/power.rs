@@ -1,0 +1,84 @@
+//! The COTS-prototype power model behind the paper's Table 3.
+
+use crate::adc::Adc;
+use msc_dsp::rate::SampleRate;
+
+/// One row of the power budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerItem {
+    /// Logical module (packet detection / modulation / clock).
+    pub module: &'static str,
+    /// Device name.
+    pub device: &'static str,
+    /// Draw in mW.
+    pub mw: f64,
+}
+
+/// The tag's power budget at a given ADC sampling rate.
+#[derive(Clone, Debug)]
+pub struct PowerBudget {
+    items: Vec<PowerItem>,
+}
+
+impl PowerBudget {
+    /// Builds the paper's Table 3 budget (peak, ADC at `adc_rate`).
+    pub fn prototype(adc_rate: SampleRate) -> Self {
+        let adc = Adc { rate: adc_rate, bits: 9, v_ref: 1.0 };
+        PowerBudget {
+            items: vec![
+                PowerItem { module: "Pkt det.", device: "Pkt det. (FPGA)", mw: 2.5 },
+                PowerItem { module: "Pkt det.", device: "ADC", mw: adc.power_mw() },
+                PowerItem { module: "Modulation", device: "FPGA (Modulation)", mw: 1.0 },
+                PowerItem { module: "Modulation", device: "RF-switch", mw: 0.1 },
+                PowerItem { module: "Clock", device: "Oscillator (20 MHz)", mw: 15.9 },
+            ],
+        }
+    }
+
+    /// The budget rows.
+    pub fn items(&self) -> &[PowerItem] {
+        &self.items
+    }
+
+    /// Total draw in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.items.iter().map(|i| i.mw).sum()
+    }
+
+    /// Sum over one logical module.
+    pub fn module_mw(&self, module: &str) -> f64 {
+        self.items.iter().filter(|i| i.module == module).map(|i| i.mw).sum()
+    }
+
+    /// The projected IC-baseband draw the paper reports from Libero
+    /// simulation (§3): 1.89 mW for all baseband functions.
+    pub fn ic_baseband_mw() -> f64 {
+        1.89
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_total_is_279_5() {
+        let b = PowerBudget::prototype(SampleRate::ADC_FULL);
+        assert!((b.total_mw() - 279.5).abs() < 1e-9, "total {}", b.total_mw());
+    }
+
+    #[test]
+    fn table3_module_breakdown() {
+        let b = PowerBudget::prototype(SampleRate::ADC_FULL);
+        assert!((b.module_mw("Pkt det.") - 262.5).abs() < 1e-9);
+        assert!((b.module_mw("Modulation") - 1.1).abs() < 1e-9);
+        assert!((b.module_mw("Clock") - 15.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_adc_rate_cuts_total() {
+        let low = PowerBudget::prototype(SampleRate::ADC_LOW);
+        // 2.5 Msps ADC = 32.5 mW → total 52 mW.
+        assert!((low.total_mw() - 52.0).abs() < 1e-9, "total {}", low.total_mw());
+    }
+}

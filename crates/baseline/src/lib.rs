@@ -1,0 +1,25 @@
+//! # msc-baseline — the comparison systems of the paper's Table 1
+//!
+//! The state-of-the-art productive-carrier backscatter systems the paper
+//! compares against (§2.4.1, §4.1.3). Both use *codeword translation* on
+//! 802.11b and require **two** receivers:
+//!
+//! * receiver A captures the **original** packet on the original channel
+//!   (and is therefore exposed to occlusion of that channel), and
+//! * receiver B captures the **backscattered**, frequency-shifted copy.
+//!
+//! Tag data is the XOR of the two receivers' codeword streams, aligned
+//! by a symbol offset the tag cannot control precisely (the paper's
+//! Fig. 9b measures offsets of up to 8 symbols).
+//!
+//! The architectural weaknesses the paper demonstrates — collapse when
+//! the original channel is occluded, and offset-driven misalignment —
+//! fall out of this implementation naturally.
+
+#![warn(missing_docs)]
+
+pub mod tone;
+pub mod two_receiver;
+
+pub use tone::{InterscatterTag, PassiveWifiTag, ToneCarrier};
+pub use two_receiver::{BaselineKind, TwoReceiverSystem};

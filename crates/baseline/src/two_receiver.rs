@@ -1,0 +1,229 @@
+//! The two-receiver codeword-translation pipeline shared by Hitchhike
+//! and FreeRider, on the 802.11b PHY.
+
+use msc_dsp::IqBuf;
+use msc_phy::bits::majority;
+use msc_phy::protocol::DecodeError;
+use msc_phy::wifi_b::{WifiBConfig, WifiBDemodulator, WifiBModulator};
+use rand::Rng;
+
+/// Which baseline system's parameters to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Hitchhike (SenSys'16): one tag bit per 802.11b symbol.
+    Hitchhike,
+    /// FreeRider (CoNEXT'17): multi-protocol generalization with a more
+    /// conservative 3-symbol spreading per tag bit.
+    FreeRider,
+}
+
+impl BaselineKind {
+    /// 802.11b symbols spent per tag bit.
+    pub fn symbols_per_bit(self) -> usize {
+        match self {
+            BaselineKind::Hitchhike => 1,
+            BaselineKind::FreeRider => 3,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::Hitchhike => "Hitchhike",
+            BaselineKind::FreeRider => "FreeRider",
+        }
+    }
+}
+
+/// A Hitchhike/FreeRider deployment: productive 802.11b transmitter, a
+/// codeword-translating tag, and the two receivers.
+#[derive(Clone, Debug)]
+pub struct TwoReceiverSystem {
+    kind: BaselineKind,
+    config: WifiBConfig,
+    /// Symbol misalignment between the two receivers' streams that the
+    /// decoder does NOT know (the paper's Fig. 9b "modulation offset").
+    pub sync_offset_symbols: usize,
+}
+
+impl TwoReceiverSystem {
+    /// Creates a system with perfect two-receiver sync.
+    pub fn new(kind: BaselineKind) -> Self {
+        TwoReceiverSystem { kind, config: WifiBConfig::default(), sync_offset_symbols: 0 }
+    }
+
+    /// The baseline flavor.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// Generates the (ordinary, fully productive) 802.11b excitation.
+    pub fn make_excitation(&self, payload_bits: &[u8]) -> IqBuf {
+        WifiBModulator::new(self.config.clone()).modulate(payload_bits)
+    }
+
+    /// Tag bits carried by a payload of `n_bits` productive bits.
+    pub fn tag_capacity(&self, n_bits: usize) -> usize {
+        n_bits / self.kind.symbols_per_bit()
+    }
+
+    /// Applies codeword translation at the tag. A backscatter switch
+    /// holds state: the tag *toggles* its reflection phase at the start
+    /// of every symbol belonging to a tag-bit-1 block, which in the
+    /// DBPSK differential domain flips exactly those symbols' codeword
+    /// bits — Hitchhike's mechanism, inherited by FreeRider with a
+    /// 3-symbol spreading.
+    pub fn tag_modulate(&self, excitation: &IqBuf, tag_bits: &[u8]) -> IqBuf {
+        let sps = (1e-6 * excitation.rate().as_hz()).round() as usize; // 1 µs symbols
+        let payload_start = (192e-6 * excitation.rate().as_hz()).round() as usize;
+        let spb = self.kind.symbols_per_bit();
+        let mut out = excitation.clone();
+        let samples = out.samples_mut();
+        let n_symbols = samples.len().saturating_sub(payload_start) / sps.max(1);
+        let mut state = 1.0f64;
+        for sym in 0..n_symbols {
+            let bit = tag_bits.get(sym / spb).copied().unwrap_or(0) & 1;
+            if bit == 1 {
+                state = -state;
+            }
+            if state < 0.0 {
+                let a = payload_start + sym * sps;
+                let b = (a + sps).min(samples.len());
+                for x in samples[a.min(b)..b].iter_mut() {
+                    *x = -*x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes tag data from the two receivers' captures.
+    ///
+    /// * `rx_original` — receiver A's capture of the original channel
+    ///   (possibly occluded → low SNR or lost).
+    /// * `rx_backscatter` — receiver B's capture of the shifted channel.
+    ///
+    /// Fails if *either* receiver fails to decode its packet — the
+    /// dependence the paper's §4.1.3 demonstrates.
+    pub fn decode_tag(
+        &self,
+        rx_original: &IqBuf,
+        rx_backscatter: &IqBuf,
+    ) -> Result<Vec<u8>, DecodeError> {
+        let demod = WifiBDemodulator::new(self.config.clone());
+        let a = demod.demodulate(rx_original)?;
+        let b = demod.demodulate(rx_backscatter)?;
+        // XOR the raw (scrambled-domain differential) codeword streams,
+        // applying the unknown sync offset to stream A as the real
+        // systems experience it.
+        let off = self.sync_offset_symbols;
+        let n = b.raw_symbol_bits.len();
+        let spb = self.kind.symbols_per_bit();
+        let mut tag = Vec::with_capacity(n / spb);
+        let mut bit_diffs = Vec::with_capacity(spb);
+        for i in (0..n).step_by(spb) {
+            bit_diffs.clear();
+            for s in 0..spb {
+                let k = i + s;
+                let a_bit = a
+                    .raw_symbol_bits
+                    .get(k + off)
+                    .copied()
+                    .unwrap_or(0);
+                let b_bit = b.raw_symbol_bits.get(k).copied().unwrap_or(0);
+                bit_diffs.push(a_bit ^ b_bit);
+            }
+            if bit_diffs.len() == spb {
+                tag.push(majority(&bit_diffs));
+            }
+        }
+        Ok(tag)
+    }
+
+    /// Draws a modulation offset for a given tag→receiver distance,
+    /// following the paper's Fig. 9b: offsets grow with range, up to 8
+    /// symbols.
+    pub fn draw_offset<R: Rng>(rng: &mut R, distance_m: f64) -> usize {
+        let max = ((distance_m / 2.0).round() as usize).min(8);
+        if max == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_phy::bits::{ber, random_bits};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(kind: BaselineKind, offset: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sys = TwoReceiverSystem::new(kind);
+        sys.sync_offset_symbols = offset;
+        let payload = random_bits(&mut rng, 120);
+        let tag_bits = random_bits(&mut rng, sys.tag_capacity(payload.len()));
+        let excitation = sys.make_excitation(&payload);
+        let backscattered = sys.tag_modulate(&excitation, &tag_bits);
+        let decoded = sys.decode_tag(&excitation, &backscattered).expect("decode");
+        (tag_bits, decoded)
+    }
+
+    #[test]
+    fn hitchhike_clean_two_receiver_decode() {
+        let (tag_bits, decoded) = run(BaselineKind::Hitchhike, 0, 181);
+        assert_eq!(ber(&tag_bits, &decoded[..tag_bits.len()]), 0.0);
+    }
+
+    #[test]
+    fn freerider_clean_two_receiver_decode() {
+        let (tag_bits, decoded) = run(BaselineKind::FreeRider, 0, 182);
+        assert_eq!(ber(&tag_bits, &decoded[..tag_bits.len()]), 0.0);
+    }
+
+    #[test]
+    fn sync_offset_corrupts_decoding() {
+        // Fig. 9b's point: an unknown symbol offset scrambles the XOR.
+        let (tag_bits, decoded) = run(BaselineKind::Hitchhike, 5, 183);
+        let b = ber(&tag_bits, &decoded[..tag_bits.len().min(decoded.len())]);
+        assert!(b > 0.2, "offset should badly corrupt tag data, BER {b}");
+    }
+
+    #[test]
+    fn lost_original_packet_kills_decoding() {
+        // §4.1.3: "if original packets are completely lost, backscattered
+        // packets cannot be decoded correctly at all."
+        let mut rng = StdRng::seed_from_u64(184);
+        let sys = TwoReceiverSystem::new(BaselineKind::Hitchhike);
+        let payload = random_bits(&mut rng, 80);
+        let tag_bits = random_bits(&mut rng, sys.tag_capacity(payload.len()));
+        let excitation = sys.make_excitation(&payload);
+        let backscattered = sys.tag_modulate(&excitation, &tag_bits);
+        let silence = IqBuf::zeros(excitation.len(), excitation.rate());
+        assert!(sys.decode_tag(&silence, &backscattered).is_err());
+    }
+
+    #[test]
+    fn capacity_scales_with_kind() {
+        let h = TwoReceiverSystem::new(BaselineKind::Hitchhike);
+        let f = TwoReceiverSystem::new(BaselineKind::FreeRider);
+        assert_eq!(h.tag_capacity(120), 120);
+        assert_eq!(f.tag_capacity(120), 40);
+    }
+
+    #[test]
+    fn offsets_grow_with_distance_and_cap_at_8() {
+        let mut rng = StdRng::seed_from_u64(185);
+        for _ in 0..50 {
+            assert_eq!(TwoReceiverSystem::draw_offset(&mut rng, 0.5), 0);
+            assert!(TwoReceiverSystem::draw_offset(&mut rng, 30.0) <= 8);
+        }
+        let far: usize = (0..200)
+            .map(|_| TwoReceiverSystem::draw_offset(&mut rng, 16.0))
+            .sum();
+        assert!(far > 200, "offsets at 16 m should average well above 1");
+    }
+}

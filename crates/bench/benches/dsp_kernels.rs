@@ -1,0 +1,59 @@
+//! DSP-kernel microbenchmarks: the primitives every experiment leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msc_dsp::corr::{normalized_corr, quantized_corr, sign_quantize};
+use msc_dsp::resample::resample_linear;
+use msc_dsp::{Complex64, Fft, Fir, SampleRate};
+
+fn bench_fft(c: &mut Criterion) {
+    let fft = Fft::new(64);
+    let input: Vec<Complex64> = (0..64)
+        .map(|i| Complex64::cis(i as f64 * 0.37))
+        .collect();
+    c.bench_function("fft64_forward", |b| {
+        b.iter(|| {
+            let mut data = input.clone();
+            fft.forward(black_box(&mut data));
+            data
+        })
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let a: Vec<f64> = (0..120).map(|i| (i as f64 * 0.7).sin()).collect();
+    let t: Vec<f64> = (0..120).map(|i| (i as f64 * 0.7 + 0.1).sin()).collect();
+    c.bench_function("normalized_corr_120", |b| {
+        b.iter(|| normalized_corr(black_box(&a), black_box(&t)))
+    });
+
+    // The FPGA path: 1-bit quantized correlation (paper §2.3.1).
+    let qa = sign_quantize(&a, 0.0);
+    let qt = sign_quantize(&t, 0.0);
+    c.bench_function("quantized_corr_120", |b| {
+        b.iter(|| quantized_corr(black_box(&qa), black_box(&qt)))
+    });
+}
+
+fn bench_fir(c: &mut Criterion) {
+    let filt = Fir::lowpass(0.2, 31);
+    let sig: Vec<Complex64> = (0..2048)
+        .map(|i| Complex64::cis(i as f64 * 0.05))
+        .collect();
+    c.bench_function("fir31_filter_2048", |b| {
+        b.iter(|| filt.filter_same(black_box(&sig)))
+    });
+}
+
+fn bench_resample(c: &mut Criterion) {
+    let sig: Vec<f64> = (0..4000).map(|i| (i as f64 * 0.01).sin()).collect();
+    c.bench_function("resample_20to2.5_msps_4000", |b| {
+        b.iter(|| resample_linear(black_box(&sig), SampleRate::ADC_FULL, SampleRate::ADC_LOW))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fft, bench_correlation, bench_fir, bench_resample
+}
+criterion_main!(benches);

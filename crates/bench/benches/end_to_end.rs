@@ -1,0 +1,51 @@
+//! End-to-end pipeline benchmarks: one full packet through carrier
+//! generation → tag modulation → channel → joint decode, per protocol —
+//! the unit of work behind Figs. 12–15.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use msc_core::overlay::Mode;
+use msc_phy::protocol::Protocol;
+use msc_sim::pipeline::{run_packet, AnyLink, Geometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_packet");
+    for p in Protocol::ALL {
+        let link = AnyLink::new(p, Mode::Mode1);
+        group.bench_with_input(BenchmarkId::from_parameter(p.label()), &link, |b, link| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let geo = Geometry::los(6.0);
+            b.iter(|| {
+                // No decode assertion: fading occasionally drops a
+                // packet at 6 m, which is behaviour, not a bench error.
+                run_packet(&mut rng, black_box(link), &geo, Mode::Mode1, 12)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tag_full_loop(c: &mut Criterion) {
+    // The tag's own processing: acquire + identify + modulate.
+    use msc_core::MultiscatterTag;
+    use msc_dsp::SampleRate;
+    let mut group = c.benchmark_group("tag_process");
+    for p in [Protocol::WifiN, Protocol::Ble] {
+        let mut rng = StdRng::seed_from_u64(8);
+        let wave = msc_sim::idtraces::random_packet(p, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(p.label()), &wave, |b, wave| {
+            let mut tag = MultiscatterTag::new(SampleRate::ADC_LOW, Mode::Mode1);
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| tag.process(&mut rng, black_box(wave), -6.0, 0.0, &[1, 0, 1]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline, bench_tag_full_loop
+}
+criterion_main!(benches);

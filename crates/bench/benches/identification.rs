@@ -1,0 +1,90 @@
+//! Identification benchmarks + the ablations DESIGN.md calls out: the
+//! cost of matching at different sampling rates, arithmetic paths (the
+//! Table 5 axis), window extensions, and blind vs ordered decisions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use msc_core::envelope::FrontEnd;
+use msc_core::{MatchMode, Matcher, OrderedRule, TemplateBank, TemplateConfig};
+use msc_dsp::SampleRate;
+use msc_phy::protocol::Protocol;
+use msc_sim::idtraces::random_packet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn acquisition(rate: SampleRate) -> (FrontEnd, Vec<f64>) {
+    let fe = FrontEnd::prototype(rate);
+    let mut rng = StdRng::seed_from_u64(3);
+    let wave = random_packet(Protocol::WifiB, &mut rng);
+    let acq = fe.acquire(&mut rng, &wave, -6.0);
+    (fe, acq)
+}
+
+fn bench_matching_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify_by_rate");
+    for (rate, label) in [
+        (SampleRate::ADC_FULL, "20Msps"),
+        (SampleRate::ADC_HALF, "10Msps"),
+        (SampleRate::ADC_LOW, "2.5Msps"),
+    ] {
+        let (fe, acq) = acquisition(rate);
+        let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
+        let matcher = Matcher::new(bank, MatchMode::Quantized);
+        group.bench_with_input(BenchmarkId::new("quantized", label), &acq, |b, acq| {
+            b.iter(|| matcher.identify_blind(black_box(acq), 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arithmetic_paths(c: &mut Criterion) {
+    // The Table 5 ablation axis in software terms.
+    let rate = SampleRate::ADC_FULL;
+    let (fe, acq) = acquisition(rate);
+    let mut group = c.benchmark_group("identify_by_arithmetic");
+    for mode in [MatchMode::FullPrecision, MatchMode::Quantized] {
+        let bank = TemplateBank::build(&fe, TemplateConfig::full_rate());
+        let matcher = Matcher::new(bank, mode);
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| matcher.identify_blind(black_box(&acq), 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_extension(c: &mut Criterion) {
+    let rate = SampleRate::ADC_LOW;
+    let (fe, acq) = acquisition(rate);
+    let mut group = c.benchmark_group("identify_by_window");
+    for (cfg, label) in [
+        (TemplateConfig::standard(rate), "8us"),
+        (TemplateConfig::extended(rate), "40us"),
+    ] {
+        let bank = TemplateBank::build(&fe, cfg);
+        let matcher = Matcher::new(bank, MatchMode::Quantized);
+        group.bench_function(label, |b| {
+            b.iter(|| matcher.identify_blind(black_box(&acq), 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision_rules(c: &mut Criterion) {
+    let rate = SampleRate::ADC_HALF;
+    let (fe, acq) = acquisition(rate);
+    let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
+    let matcher = Matcher::new(bank, MatchMode::Quantized);
+    let rule = OrderedRule::paper_default();
+    let mut group = c.benchmark_group("decision_rule");
+    group.bench_function("blind", |b| b.iter(|| matcher.identify_blind(black_box(&acq), 0)));
+    group.bench_function("ordered", |b| {
+        b.iter(|| matcher.identify_ordered(black_box(&acq), 0, &rule))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matching_rates, bench_arithmetic_paths, bench_window_extension, bench_decision_rules
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Wall/occlusion attenuation at 2.4 GHz, for the paper's occlusion
+//! experiments (Fig. 9a: none / wooden wall / concrete wall; Fig. 15:
+//! thin drywall).
+
+/// Occlusion between two radios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Occlusion {
+    /// Unobstructed.
+    None,
+    /// Thin drywall (the Fig. 15 experiment).
+    Drywall,
+    /// Wooden wall (Fig. 9a middle case).
+    WoodenWall,
+    /// Concrete wall (Fig. 9a worst case).
+    ConcreteWall,
+}
+
+impl Occlusion {
+    /// Typical one-wall penetration loss at 2.4 GHz, dB. Values follow
+    /// common indoor propagation surveys (drywall 3–4, wood 5–7,
+    /// concrete 12–20 dB); we use mid-range points.
+    pub fn loss_db(self) -> f64 {
+        match self {
+            Occlusion::None => 0.0,
+            Occlusion::Drywall => 3.5,
+            Occlusion::WoodenWall => 6.0,
+            Occlusion::ConcreteWall => 16.0,
+        }
+    }
+
+    /// Display label used by experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Occlusion::None => "no obstruction",
+            Occlusion::Drywall => "drywall",
+            Occlusion::WoodenWall => "wooden wall",
+            Occlusion::ConcreteWall => "concrete wall",
+        }
+    }
+
+    /// The three scenarios of the paper's Fig. 9a, in order.
+    pub const FIG9: [Occlusion; 3] =
+        [Occlusion::None, Occlusion::WoodenWall, Occlusion::ConcreteWall];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_physics() {
+        assert!(Occlusion::None.loss_db() < Occlusion::Drywall.loss_db());
+        assert!(Occlusion::Drywall.loss_db() < Occlusion::WoodenWall.loss_db());
+        assert!(Occlusion::WoodenWall.loss_db() < Occlusion::ConcreteWall.loss_db());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Occlusion::ConcreteWall.label(), "concrete wall");
+        assert_eq!(Occlusion::FIG9.len(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Path-loss models: free space and log-distance with LoS/NLoS exponents,
+//! the 2.4 GHz parameters used throughout the experiments.
+
+/// Speed of light, m/s.
+pub const C: f64 = 299_792_458.0;
+/// The 2.4 GHz ISM-band center frequency used by all four protocols.
+pub const F_2G4: f64 = 2.44e9;
+
+/// Wavelength in meters at carrier frequency `f_hz`.
+pub fn wavelength(f_hz: f64) -> f64 {
+    C / f_hz
+}
+
+/// Free-space path loss in dB at distance `d` meters, frequency `f_hz`.
+/// Clamped below 1 wavelength (near field).
+pub fn free_space_db(d: f64, f_hz: f64) -> f64 {
+    let lambda = wavelength(f_hz);
+    let d = d.max(lambda);
+    20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10()
+}
+
+/// A log-distance path-loss model: FSPL at `d0` plus
+/// `10·n·log10(d/d0)` beyond it.
+#[derive(Clone, Copy, Debug)]
+pub struct LogDistance {
+    /// Path-loss exponent (2.0 free space; ~2.0–2.2 indoor LoS hallway;
+    /// ~3.0–3.5 indoor NLoS).
+    pub exponent: f64,
+    /// Reference distance, m.
+    pub d0: f64,
+    /// Carrier frequency, Hz.
+    pub f_hz: f64,
+}
+
+impl LogDistance {
+    /// Line-of-sight hallway model (the paper's LoS deployment, Fig. 13).
+    pub fn los_2g4() -> Self {
+        LogDistance { exponent: 2.05, d0: 1.0, f_hz: F_2G4 }
+    }
+
+    /// Non-line-of-sight office model (Fig. 14): the TX and tag sit one
+    /// room away from the hallway receiver, so the exponent is only
+    /// mildly above LoS and the separating wall is added explicitly via
+    /// [`crate::materials`]. Calibrated against the paper's ~6 m range
+    /// shrink from Fig. 13 to Fig. 14.
+    pub fn nlos_2g4() -> Self {
+        LogDistance { exponent: 2.1, d0: 1.0, f_hz: F_2G4 }
+    }
+
+    /// Path loss in dB at distance `d` meters.
+    pub fn loss_db(&self, d: f64) -> f64 {
+        let d = d.max(1e-3);
+        let ref_loss = free_space_db(self.d0, self.f_hz);
+        if d <= self.d0 {
+            free_space_db(d, self.f_hz)
+        } else {
+            ref_loss + 10.0 * self.exponent * (d / self.d0).log10()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_at_2g4() {
+        // Paper §2.2.1: 2.4 GHz wavelength ≈ 0.12 m.
+        let l = wavelength(F_2G4);
+        assert!((l - 0.1229).abs() < 0.001, "lambda {l}");
+    }
+
+    #[test]
+    fn fspl_known_value() {
+        // FSPL at 1 m, 2.44 GHz ≈ 40.2 dB.
+        let v = free_space_db(1.0, F_2G4);
+        assert!((v - 40.2).abs() < 0.3, "fspl {v}");
+        // +6 dB per doubling.
+        assert!((free_space_db(2.0, F_2G4) - v - 6.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn fspl_monotonic_and_clamped() {
+        assert_eq!(free_space_db(0.0, F_2G4), free_space_db(0.01, F_2G4));
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let v = free_space_db(i as f64, F_2G4);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn log_distance_matches_fspl_when_n_is_2() {
+        let m = LogDistance { exponent: 2.0, d0: 1.0, f_hz: F_2G4 };
+        for &d in &[1.0, 3.0, 10.0, 30.0] {
+            assert!((m.loss_db(d) - free_space_db(d, F_2G4)).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn nlos_loses_more_than_los() {
+        let los = LogDistance::los_2g4();
+        let nlos = LogDistance::nlos_2g4();
+        for &d in &[2.0, 5.0, 10.0, 20.0] {
+            assert!(nlos.loss_db(d) > los.loss_db(d));
+        }
+        // And they agree at the reference distance.
+        assert!((los.loss_db(1.0) - nlos.loss_db(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // The paper §2.2.1 notes 2.4 GHz brings "less than 15% of the
+        // received energy" vs RFID's 915 MHz along the same path —
+        // i.e. ≈ 8 dB extra loss from (λ_rfid/λ_2g4)^2.
+        let ratio_db = free_space_db(5.0, F_2G4) - free_space_db(5.0, 915e6);
+        assert!((ratio_db - 8.5).abs() < 0.5, "delta {ratio_db}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Scratch probe: identification accuracy across rates/modes.
+use msc_core::{FrontEnd, MatchMode, Matcher, OrderedRule, TemplateBank, TemplateConfig};
+use msc_dsp::SampleRate;
+use msc_phy::bits::{random_bits, random_bytes};
+use msc_phy::protocol::Protocol;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn packet(p: Protocol, rng: &mut StdRng) -> msc_dsp::IqBuf {
+    match p {
+        Protocol::WifiB => msc_phy::wifi_b::WifiBModulator::new(Default::default())
+            .modulate(&random_bits(rng, 200)),
+        Protocol::WifiN => msc_phy::wifi_n::WifiNModulator::new(Default::default())
+            .modulate(&random_bits(rng, 400)),
+        Protocol::Ble => msc_phy::ble::BleModulator::new(Default::default())
+            .modulate(0x02, &random_bytes(rng, 30)),
+        Protocol::ZigBee => msc_phy::zigbee::ZigBeeModulator::new(Default::default())
+            .modulate(&random_bytes(rng, 40)),
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let args: Vec<String> = std::env::args().collect();
+    let plo: f64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(-10.0);
+    let phi: f64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(-3.0);
+    let plo = &plo; let phi = &phi;
+    for (rate, label, ext) in [
+        (SampleRate::ADC_FULL, "20Msps std", false),
+        (SampleRate::ADC_HALF, "10Msps std", false),
+        (SampleRate::ADC_LOW, "2.5Msps std", false),
+        (SampleRate::ADC_LOW, "2.5Msps ext", true),
+        (SampleRate::ADC_FLOOR, "1Msps ext", true),
+    ] {
+        let fe = FrontEnd::prototype(rate);
+        let cfg = if ext { TemplateConfig::extended(rate) } else if rate == SampleRate::ADC_FULL { TemplateConfig::full_rate() } else { TemplateConfig::standard(rate) };
+        let bank = TemplateBank::build(&fe, cfg);
+        for mode in [MatchMode::FullPrecision, MatchMode::Quantized] {
+            let m = Matcher::new(bank.clone(), mode);
+            let rule = OrderedRule::paper_default();
+            let mut ok_blind = [0usize; 4];
+            let mut ok_ord = [0usize; 4];
+            let n = 25;
+            for (pi, p) in Protocol::ALL.iter().enumerate() {
+                for _ in 0..n {
+                    let wave = packet(*p, &mut rng);
+                    let power = rng.gen_range(*plo..*phi);
+                    let acq = fe.acquire(&mut rng, &wave, power);
+                    let j = rng.gen_range(-2..=2);
+                    if m.identify_blind(&acq, j) == Some(*p) { ok_blind[pi] += 1; }
+                    if m.identify_ordered(&acq, j, &rule) == Some(*p) { ok_ord[pi] += 1; }
+                }
+            }
+            let f = |v: [usize;4]| v.iter().map(|&x| x as f64 / n as f64).collect::<Vec<_>>();
+            println!("{label:12} {mode:?}: blind {:?} ordered {:?}", f(ok_blind), f(ok_ord));
+        }
+    }
+}

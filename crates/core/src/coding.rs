@@ -1,0 +1,128 @@
+//! Tag-data coding beyond γ-repetition — the paper's stated future work
+//! (footnote 8: "investigation of more sophisticated coding schemes,
+//! e.g., Forward Error Correction").
+//!
+//! The overlay channel hands the receiver one hard decision per tag bit
+//! (already γ-majority-voted). [`TagCoding::Fec`] wraps that channel in
+//! the same K=7 rate-1/2 convolutional code 802.11 uses: the tag encodes
+//! its payload before loading it onto blocks, and the receiver Viterbi-
+//! decodes the recovered block stream. Capacity halves (plus 6 tail
+//! bits); in exchange, scattered block errors near the range edge are
+//! corrected instead of delivered.
+
+use msc_phy::conv::{encode, viterbi_decode};
+
+/// How tag bits are protected on the overlay channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagCoding {
+    /// γ-fold repetition + majority voting only (the paper's design).
+    Repetition,
+    /// K=7 rate-1/2 convolutional coding on top of the repetition
+    /// (the paper's future-work suggestion).
+    Fec,
+}
+
+impl TagCoding {
+    /// Information bits that fit in `raw_capacity` on-air tag bits.
+    pub fn info_capacity(self, raw_capacity: usize) -> usize {
+        match self {
+            TagCoding::Repetition => raw_capacity,
+            TagCoding::Fec => (raw_capacity / 2).saturating_sub(6),
+        }
+    }
+
+    /// On-air tag bits needed to carry `info_bits`.
+    pub fn coded_len(self, info_bits: usize) -> usize {
+        match self {
+            TagCoding::Repetition => info_bits,
+            TagCoding::Fec => (info_bits + 6) * 2,
+        }
+    }
+
+    /// Encodes an information payload into on-air tag bits.
+    pub fn encode(self, info: &[u8]) -> Vec<u8> {
+        match self {
+            TagCoding::Repetition => info.to_vec(),
+            TagCoding::Fec => {
+                let mut padded = info.to_vec();
+                padded.extend_from_slice(&[0; 6]); // trellis termination
+                encode(&padded)
+            }
+        }
+    }
+
+    /// Decodes received on-air tag bits back to information bits.
+    /// `info_bits` bounds the output length.
+    pub fn decode(self, received: &[u8], info_bits: usize) -> Vec<u8> {
+        match self {
+            TagCoding::Repetition => received[..received.len().min(info_bits)].to_vec(),
+            TagCoding::Fec => {
+                let even = received.len() & !1;
+                let mut decoded = viterbi_decode(&received[..even]);
+                decoded.truncate(info_bits);
+                decoded
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_phy::bits::{ber, random_bits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn capacity_accounting() {
+        assert_eq!(TagCoding::Repetition.info_capacity(100), 100);
+        assert_eq!(TagCoding::Fec.info_capacity(100), 44);
+        assert_eq!(TagCoding::Fec.coded_len(44), 100);
+        assert_eq!(TagCoding::Repetition.coded_len(7), 7);
+    }
+
+    #[test]
+    fn clean_round_trip_both_codings() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let info = random_bits(&mut rng, 60);
+        for coding in [TagCoding::Repetition, TagCoding::Fec] {
+            let coded = coding.encode(&info);
+            assert_eq!(coded.len(), coding.coded_len(info.len()));
+            let back = coding.decode(&coded, info.len());
+            assert_eq!(back, info, "{coding:?}");
+        }
+    }
+
+    #[test]
+    fn fec_corrects_scattered_block_errors_where_repetition_cannot() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let info = random_bits(&mut rng, 80);
+        let p_err = 0.02; // per-block overlay error rate near the edge
+        let mut rep_errors = 0usize;
+        let mut fec_errors = 0usize;
+        let mut bits = 0usize;
+        for _ in 0..30 {
+            for coding in [TagCoding::Repetition, TagCoding::Fec] {
+                let coded = coding.encode(&info);
+                let received: Vec<u8> = coded
+                    .iter()
+                    .map(|&b| if rng.gen_bool(p_err) { b ^ 1 } else { b })
+                    .collect();
+                let back = coding.decode(&received, info.len());
+                let e = (ber(&info, &back) * info.len() as f64).round() as usize;
+                match coding {
+                    TagCoding::Repetition => rep_errors += e,
+                    TagCoding::Fec => fec_errors += e,
+                }
+            }
+            bits += info.len();
+        }
+        let rep_ber = rep_errors as f64 / bits as f64;
+        let fec_ber = fec_errors as f64 / bits as f64;
+        assert!(rep_ber > 0.01, "repetition BER {rep_ber} (should track p_err)");
+        assert!(
+            fec_ber < rep_ber / 5.0,
+            "FEC must crush scattered errors: {fec_ber} vs {rep_ber}"
+        );
+    }
+}

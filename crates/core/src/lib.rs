@@ -1,0 +1,32 @@
+//! # msc-core — the multiscatter tag
+//!
+//! The paper's primary contribution: ultra-low-power multiprotocol
+//! excitation identification (template matching with 1-bit quantization,
+//! downsampling, and ordered decisions) and overlay modulation (κ-spread
+//! reference symbols + γ-spread tag symbols, decodable on one commodity
+//! radio).
+
+#![warn(missing_docs)]
+
+pub mod coding;
+pub mod envelope;
+pub mod freqshift;
+pub mod matcher;
+pub mod overlay;
+pub mod resources;
+pub mod scheduler;
+pub mod search;
+pub mod streaming;
+pub mod tag;
+pub mod templates;
+
+pub use coding::TagCoding;
+pub use envelope::FrontEnd;
+pub use freqshift::{FreqShifter, ShiftMode};
+pub use matcher::{MatchMode, Matcher, OrderedRule, Scores};
+pub use overlay::{Mode, OverlayParams, TagOverlayModulator};
+pub use resources::{Arithmetic, MatcherCost};
+pub use scheduler::CarrierScheduler;
+pub use streaming::{Detection, StreamingMatcher};
+pub use tag::{MultiscatterTag, TagResponse};
+pub use templates::{Template, TemplateBank, TemplateConfig};

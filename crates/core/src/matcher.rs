@@ -1,0 +1,415 @@
+//! The identification matcher (paper §2.2.2–2.3): correlation of acquired
+//! windows against the template bank, in full precision or 1-bit
+//! quantized arithmetic, with blind or ordered decision rules.
+
+use crate::templates::{detect_start, TemplateBank};
+use msc_phy::protocol::Protocol;
+
+/// Arithmetic path for correlation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Floating-point normalized correlation ("resources are not a
+    /// problem", Fig. 5b).
+    FullPrecision,
+    /// 1-bit quantized correlation — the nano-FPGA implementation
+    /// (§2.3.1): multipliers replaced by adders.
+    Quantized,
+    /// `n`-bit quantized correlation (2 ≤ n ≤ 8): the middle ground the
+    /// paper's quantization ablation implies. Samples are quantized to
+    /// signed integers around the preprocessing-window DC, scaled by its
+    /// RMS; correlation runs in integer arithmetic.
+    MultiBit(u8),
+}
+
+/// Quantizes a window to signed `bits`-bit integers around `dc`, with
+/// the scale set so ±2·RMS spans the code range.
+pub fn multibit_quantize(window: &[f64], dc: f64, rms: f64, bits: u8) -> Vec<i32> {
+    assert!((2..=8).contains(&bits), "multi-bit quantization supports 2-8 bits");
+    let max_code = (1i32 << (bits - 1)) - 1;
+    let scale = if rms > 1e-30 { max_code as f64 / (2.0 * rms) } else { 0.0 };
+    window
+        .iter()
+        .map(|&x| (((x - dc) * scale).round() as i32).clamp(-max_code, max_code))
+        .collect()
+}
+
+/// Integer correlation of two quantized windows, normalized to [-1, 1].
+pub fn multibit_corr_norm(a: &[i32], b: &[i32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let dot: i64 = a.iter().zip(b).map(|(&x, &y)| x as i64 * y as i64).sum();
+    let na: i64 = a.iter().map(|&x| x as i64 * x as i64).sum();
+    let nb: i64 = b.iter().map(|&y| y as i64 * y as i64).sum();
+    let denom = ((na as f64) * (nb as f64)).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        dot as f64 / denom
+    }
+}
+
+/// Per-protocol correlation scores for one window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scores {
+    scores: [f64; 4],
+}
+
+impl Scores {
+    /// The score for one protocol.
+    pub fn get(&self, p: Protocol) -> f64 {
+        self.scores[Self::idx(p)]
+    }
+
+    fn idx(p: Protocol) -> usize {
+        match p {
+            Protocol::WifiN => 0,
+            Protocol::WifiB => 1,
+            Protocol::Ble => 2,
+            Protocol::ZigBee => 3,
+        }
+    }
+
+    /// Sets the score for one protocol (used by the matcher and by
+    /// experiment harnesses constructing synthetic score vectors).
+    pub fn set(&mut self, p: Protocol, v: f64) {
+        self.scores[Self::idx(p)] = v;
+    }
+
+    /// The protocol with the highest score (blind matching).
+    pub fn argmax(&self) -> Protocol {
+        let mut best = Protocol::WifiN;
+        let mut best_v = f64::NEG_INFINITY;
+        for p in Protocol::ALL {
+            let v = self.get(p);
+            if v > best_v {
+                best_v = v;
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// One step of the ordered-matching chain: declare `protocol` if its
+/// score exceeds `threshold`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderStep {
+    /// Candidate protocol.
+    pub protocol: Protocol,
+    /// Correlation threshold.
+    pub threshold: f64,
+}
+
+/// The ordered-matching rule (paper Fig. 6): a sequence of
+/// threshold decisions, falling back to blind argmax when none fires.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderedRule {
+    /// The decision chain, evaluated in order.
+    pub steps: Vec<OrderStep>,
+}
+
+impl OrderedRule {
+    /// The paper's chain — ZigBee → BLE → 802.11b → 802.11n — with
+    /// thresholds found by the brute-force search of §2.3.2 (defaults
+    /// here are sensible starting points; see [`crate::search`]).
+    pub fn paper_default() -> Self {
+        OrderedRule {
+            steps: vec![
+                OrderStep { protocol: Protocol::ZigBee, threshold: 0.72 },
+                OrderStep { protocol: Protocol::Ble, threshold: 0.65 },
+                OrderStep { protocol: Protocol::WifiB, threshold: 0.55 },
+                OrderStep { protocol: Protocol::WifiN, threshold: 0.50 },
+            ],
+        }
+    }
+
+    /// Applies the chain to a score vector.
+    pub fn decide(&self, s: &Scores) -> Protocol {
+        for step in &self.steps {
+            if s.get(step.protocol) > step.threshold {
+                return step.protocol;
+            }
+        }
+        s.argmax()
+    }
+}
+
+/// The matcher: owns a template bank and computes scores for acquired
+/// windows.
+///
+/// Hardware correlators run continuously and a peak detector fires on
+/// the best alignment; we model that with a small lag search around the
+/// detected packet edge (`lag_search` samples each way).
+#[derive(Clone, Debug)]
+pub struct Matcher {
+    bank: TemplateBank,
+    mode: MatchMode,
+    lag_search: usize,
+}
+
+impl Matcher {
+    /// Creates a matcher. The default lag-search radius scales with the
+    /// window (≈4 µs of slack, at least 3 samples — the hardware correlator never stops, so identification is a max over alignments) — enough to absorb
+    /// the power-dependent shift of the energy-threshold crossing.
+    pub fn new(bank: TemplateBank, mode: MatchMode) -> Self {
+        let lag_search = bank.config().adc_rate.samples_in(4.0e-6).max(3);
+        Matcher { bank, mode, lag_search }
+    }
+
+    /// Overrides the lag-search radius.
+    pub fn with_lag_search(mut self, lag: usize) -> Self {
+        self.lag_search = lag;
+        self
+    }
+
+    /// The template bank in use.
+    pub fn bank(&self) -> &TemplateBank {
+        &self.bank
+    }
+
+    /// The arithmetic mode in use.
+    pub fn mode(&self) -> MatchMode {
+        self.mode
+    }
+
+    /// Scores a window that already starts at the packet edge
+    /// (`l_p + l_m` samples or more).
+    pub fn score_window(&self, window: &[f64]) -> Option<Scores> {
+        let cfg = self.bank.config();
+        if window.len() < cfg.total() {
+            return None;
+        }
+        let pre = &window[..cfg.l_p];
+        let body = &window[cfg.l_p..cfg.total()];
+        let dc = msc_dsp::corr::dc_estimate(pre);
+        let mut out = Scores::default();
+        match self.mode {
+            MatchMode::FullPrecision => {
+                let rms = msc_dsp::corr::rms_about(body, dc);
+                let normalized = msc_dsp::corr::normalize_window(body, dc, rms);
+                for t in self.bank.templates() {
+                    out.set(
+                        t.protocol,
+                        msc_dsp::corr::normalized_corr(&normalized, &t.normalized),
+                    );
+                }
+            }
+            MatchMode::Quantized => {
+                let q = msc_dsp::corr::sign_quantize(body, dc);
+                for t in self.bank.templates() {
+                    out.set(t.protocol, msc_dsp::corr::quantized_corr_norm(&q, &t.quantized));
+                }
+            }
+            MatchMode::MultiBit(bits) => {
+                let rms = msc_dsp::corr::rms_about(body, dc);
+                let q = multibit_quantize(body, dc, rms, bits);
+                for t in self.bank.templates() {
+                    // Quantize the stored normalized template on the fly
+                    // (templates are zero-mean unit-RMS already).
+                    let tq = multibit_quantize(&t.normalized, 0.0, 1.0, bits);
+                    out.set(t.protocol, multibit_corr_norm(&q, &tq));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Detects the packet edge in an acquired sequence and scores it.
+    /// `jitter` shifts the detected start (models detection timing
+    /// error); the lag search takes the per-protocol maximum over
+    /// nearby alignments, as a continuously-running correlator would.
+    pub fn score_acquired(&self, acquired: &[f64], jitter: isize) -> Option<Scores> {
+        let base = detect_start(acquired)? as isize + jitter;
+        let mut best: Option<Scores> = None;
+        let lag = self.lag_search as isize;
+        for d in -lag..=lag {
+            let start = (base + d).clamp(0, acquired.len() as isize) as usize;
+            if let Some(s) = self.score_window(&acquired[start..]) {
+                best = Some(match best {
+                    None => s,
+                    Some(mut acc) => {
+                        for p in Protocol::ALL {
+                            if s.get(p) > acc.get(p) {
+                                acc.set(p, s.get(p));
+                            }
+                        }
+                        acc
+                    }
+                });
+            }
+        }
+        best
+    }
+
+    /// Scores a window at an explicit start offset with the lag search,
+    /// without running edge detection (the streaming matcher has its
+    /// own detector).
+    pub fn score_acquired_at(&self, acquired: &[f64], start: usize) -> Option<Scores> {
+        let mut best: Option<Scores> = None;
+        let lag = self.lag_search as isize;
+        for d in -lag..=lag {
+            let s = (start as isize + d).clamp(0, acquired.len() as isize) as usize;
+            if let Some(scores) = self.score_window(&acquired[s..]) {
+                best = Some(match best {
+                    None => scores,
+                    Some(mut acc) => {
+                        for p in Protocol::ALL {
+                            if scores.get(p) > acc.get(p) {
+                                acc.set(p, scores.get(p));
+                            }
+                        }
+                        acc
+                    }
+                });
+            }
+        }
+        best
+    }
+
+    /// Blind identification (argmax).
+    pub fn identify_blind(&self, acquired: &[f64], jitter: isize) -> Option<Protocol> {
+        Some(self.score_acquired(acquired, jitter)?.argmax())
+    }
+
+    /// Ordered identification.
+    pub fn identify_ordered(
+        &self,
+        acquired: &[f64],
+        jitter: isize,
+        rule: &OrderedRule,
+    ) -> Option<Protocol> {
+        Some(rule.decide(&self.score_acquired(acquired, jitter)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::FrontEnd;
+    use crate::templates::{canonical_waveform, TemplateBank, TemplateConfig};
+    use msc_dsp::SampleRate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn matcher(mode: MatchMode) -> Matcher {
+        let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+        let bank = TemplateBank::build(&fe, TemplateConfig::full_rate());
+        Matcher::new(bank, mode)
+    }
+
+    #[test]
+    fn identifies_own_canonical_packets_full_precision() {
+        let m = matcher(MatchMode::FullPrecision);
+        let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+        let mut rng = StdRng::seed_from_u64(111);
+        for p in Protocol::ALL {
+            let wave = canonical_waveform(p);
+            let acq = fe.acquire(&mut rng, &wave, -5.0);
+            let got = m.identify_blind(&acq, 0).expect("score");
+            assert_eq!(got, p, "misidentified {p}");
+        }
+    }
+
+    #[test]
+    fn identifies_own_canonical_packets_quantized() {
+        let m = matcher(MatchMode::Quantized);
+        let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+        let mut rng = StdRng::seed_from_u64(112);
+        for p in Protocol::ALL {
+            let wave = canonical_waveform(p);
+            let acq = fe.acquire(&mut rng, &wave, -5.0);
+            assert_eq!(m.identify_blind(&acq, 0), Some(p), "misidentified {p}");
+        }
+    }
+
+    #[test]
+    fn own_template_scores_highest() {
+        let m = matcher(MatchMode::FullPrecision);
+        let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+        let mut rng = StdRng::seed_from_u64(113);
+        for p in Protocol::ALL {
+            let acq = fe.acquire(&mut rng, &canonical_waveform(p), -5.0);
+            let s = m.score_acquired(&acq, 0).unwrap();
+            let own = s.get(p);
+            assert!(own > 0.5, "{p} self-score {own}");
+            for q in Protocol::ALL {
+                if q != p {
+                    assert!(own > s.get(q), "{p}: {} vs {q}: {}", own, s.get(q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multibit_quantization_brackets_the_extremes() {
+        // 4-bit matching must identify at least as well as 1-bit on the
+        // same traces (more precision can't hurt on clean inputs).
+        let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+        let bank = TemplateBank::build(&fe, TemplateConfig::full_rate());
+        let mut rng = StdRng::seed_from_u64(115);
+        for p in Protocol::ALL {
+            let acq = fe.acquire(&mut rng, &canonical_waveform(p), -5.0);
+            for bits in [2u8, 4, 8] {
+                let m = Matcher::new(bank.clone(), MatchMode::MultiBit(bits));
+                assert_eq!(m.identify_blind(&acq, 0), Some(p), "{p} at {bits} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn multibit_kernels() {
+        let w = vec![0.0, 1.0, -1.0, 2.0, -2.0];
+        let q = multibit_quantize(&w, 0.0, 1.0, 3);
+        assert_eq!(q, vec![0, 2, -2, 3, -3]); // scale 3/2, clamp ±3
+        assert!((multibit_corr_norm(&q, &q) - 1.0).abs() < 1e-12);
+        let neg: Vec<i32> = q.iter().map(|&x| -x).collect();
+        assert!((multibit_corr_norm(&q, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(multibit_corr_norm(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn multibit_rejects_bad_width() {
+        multibit_quantize(&[0.0], 0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn ordered_rule_decides_and_falls_back() {
+        let rule = OrderedRule::paper_default();
+        let mut s = Scores::default();
+        s.set(Protocol::ZigBee, 0.9);
+        s.set(Protocol::WifiN, 0.95);
+        // ZigBee step fires first despite WifiN's higher score.
+        assert_eq!(rule.decide(&s), Protocol::ZigBee);
+        // Nothing above threshold → argmax fallback.
+        let mut weak = Scores::default();
+        weak.set(Protocol::WifiB, 0.3);
+        weak.set(Protocol::Ble, 0.2);
+        assert_eq!(rule.decide(&weak), Protocol::WifiB);
+    }
+
+    #[test]
+    fn short_window_is_rejected() {
+        let m = matcher(MatchMode::FullPrecision);
+        assert!(m.score_window(&vec![0.1; 10]).is_none());
+    }
+
+    #[test]
+    fn survives_small_jitter() {
+        let m = matcher(MatchMode::FullPrecision);
+        let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+        let mut rng = StdRng::seed_from_u64(114);
+        for p in Protocol::ALL {
+            let acq = fe.acquire(&mut rng, &canonical_waveform(p), -5.0);
+            for jitter in [-2isize, -1, 1, 2] {
+                assert_eq!(
+                    m.identify_blind(&acq, jitter),
+                    Some(p),
+                    "{p} failed at jitter {jitter}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! FPGA resource and power models behind the paper's Table 2 and
+//! Table 5: what multiprotocol template matching costs in multipliers,
+//! adders, D-flip-flops, LUTs, and milliwatts — and why 1-bit
+//! quantization + downsampling is what makes the AGLN250 viable.
+
+/// Per-element D-flip-flop costs the paper states (§2.3.1): a 9×9
+/// multiplier takes 259 DFFs, a 9-bit adder takes 19.
+pub const DFF_PER_MULT_9X9: usize = 259;
+/// DFFs per 9-bit adder.
+pub const DFF_PER_ADDER_9B: usize = 19;
+/// DFFs per 1-bit-quantized correlation adder cell (calibrated to the
+/// paper's 2,860-DFF nano implementation at template size 120).
+pub const DFF_PER_QUANT_CELL: f64 = 6.0;
+/// The AGLN250's total D-flip-flops.
+pub const AGLN250_DFF: usize = 6_144;
+/// The AGLN250's storage for code + data, bits.
+pub const AGLN250_STORAGE_BITS: usize = 36_000;
+
+/// Arithmetic implementation of the correlator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arithmetic {
+    /// Full-precision samples (9-bit): multiplier per tap.
+    FullPrecision,
+    /// ±1-quantized samples: adders only.
+    Quantized,
+    /// `n`-bit samples: multipliers sized n×n (area ∝ n² relative to the
+    /// paper's 9×9 reference cells).
+    MultiBit(u8),
+}
+
+/// A matching-engine configuration to be costed.
+#[derive(Clone, Copy, Debug)]
+pub struct MatcherCost {
+    /// Matching-window (template) size in samples.
+    pub template_size: usize,
+    /// Number of protocols matched in parallel.
+    pub protocols: usize,
+    /// Arithmetic path.
+    pub arithmetic: Arithmetic,
+}
+
+impl MatcherCost {
+    /// The paper's Table 2 configuration: template 120, four protocols.
+    pub fn table2(arithmetic: Arithmetic) -> Self {
+        MatcherCost { template_size: 120, protocols: 4, arithmetic }
+    }
+
+    /// Multipliers required.
+    pub fn multipliers(&self) -> usize {
+        match self.arithmetic {
+            Arithmetic::FullPrecision | Arithmetic::MultiBit(_) => {
+                self.template_size * self.protocols
+            }
+            Arithmetic::Quantized => 0,
+        }
+    }
+
+    /// Adders required.
+    pub fn adders(&self) -> usize {
+        (self.template_size - 1) * self.protocols
+    }
+
+    /// Total D-flip-flops.
+    pub fn dffs(&self) -> usize {
+        match self.arithmetic {
+            Arithmetic::FullPrecision => {
+                self.multipliers() * DFF_PER_MULT_9X9 + self.adders() * DFF_PER_ADDER_9B
+            }
+            Arithmetic::MultiBit(bits) => {
+                // Array multipliers scale ~quadratically with width and
+                // ripple adders linearly, from the 9-bit reference cells.
+                let b = bits as f64 / 9.0;
+                (self.multipliers() as f64 * DFF_PER_MULT_9X9 as f64 * b * b
+                    + self.adders() as f64 * DFF_PER_ADDER_9B as f64 * b) as usize
+            }
+            Arithmetic::Quantized => {
+                // Calibrated to the paper's 2,860 DFFs: ~6 DFFs per
+                // adder cell plus one result register per protocol.
+                (self.adders() as f64 * DFF_PER_QUANT_CELL) as usize + self.protocols
+            }
+        }
+    }
+
+    /// Whether the design fits the AGLN250.
+    pub fn fits_agln250(&self) -> bool {
+        self.dffs() <= AGLN250_DFF
+    }
+
+    /// LUT estimate on a XILINX Artix-7 (the paper's Table 5 vehicle),
+    /// calibrated to its three measured rows.
+    pub fn luts(&self) -> f64 {
+        match self.arithmetic {
+            // 227 base + 63 LUT / 9×9 multiplier + 9 LUT / 9-bit adder.
+            Arithmetic::FullPrecision => {
+                227.0 + self.multipliers() as f64 * 63.0 + self.adders() as f64 * 9.0
+            }
+            Arithmetic::MultiBit(bits) => {
+                let b = bits as f64 / 9.0;
+                227.0 + self.multipliers() as f64 * 63.0 * b * b
+                    + self.adders() as f64 * 9.0 * b
+            }
+            // 241.2 base + 2.8 LUT per 1-bit cell.
+            Arithmetic::Quantized => 241.2 + self.adders() as f64 * 2.8,
+        }
+    }
+
+    /// Simulated dynamic power in mW at `sample_rate_hz`, calibrated to
+    /// Table 5 (activity of multiplier logic is far higher than the
+    /// quantized adder chains).
+    pub fn power_mw(&self, sample_rate_hz: f64) -> f64 {
+        match self.arithmetic {
+            Arithmetic::FullPrecision | Arithmetic::MultiBit(_) => {
+                // (564 − 1) mW at 34,751 LUTs × 20 MHz (multiplier-logic
+                // activity factor).
+                1.0 + 8.099e-10 * self.luts() * sample_rate_hz
+            }
+            Arithmetic::Quantized => {
+                // (12 − 1) mW at 1,574 LUTs × 20 MHz.
+                1.0 + 3.494e-10 * self.luts() * sample_rate_hz
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_naive_row() {
+        let c = MatcherCost::table2(Arithmetic::FullPrecision);
+        assert_eq!(c.multipliers(), 480);
+        assert_eq!(c.adders(), 476);
+        assert_eq!(c.dffs(), 480 * 259 + 476 * 19);
+        assert_eq!(c.dffs(), 133_364); // the paper's total
+        assert!(!c.fits_agln250());
+        // Per-protocol slice: 120 mult + 119 add = 33,341 DFFs.
+        let one = MatcherCost { template_size: 120, protocols: 1, ..c };
+        assert_eq!(one.dffs(), 33_341);
+    }
+
+    #[test]
+    fn table2_quantized_row() {
+        let c = MatcherCost::table2(Arithmetic::Quantized);
+        assert_eq!(c.multipliers(), 0);
+        assert_eq!(c.dffs(), 2_860); // the paper's nano implementation
+        assert!(c.fits_agln250());
+    }
+
+    #[test]
+    fn table5_rows() {
+        let naive = MatcherCost::table2(Arithmetic::FullPrecision);
+        assert!((naive.luts() - 34_751.0).abs() < 40.0, "luts {}", naive.luts());
+        assert!((naive.power_mw(20e6) - 564.0).abs() < 3.0, "p {}", naive.power_mw(20e6));
+
+        let quant = MatcherCost::table2(Arithmetic::Quantized);
+        assert!((quant.luts() - 1_574.0).abs() < 5.0, "luts {}", quant.luts());
+        assert!((quant.power_mw(20e6) - 12.0).abs() < 0.2);
+
+        // 2.5 Msps with the 75-sample extended matching window.
+        let low = MatcherCost { template_size: 75, protocols: 4, arithmetic: Arithmetic::Quantized };
+        assert!((low.luts() - 1_070.0).abs() < 5.0, "luts {}", low.luts());
+        assert!((low.power_mw(2.5e6) - 2.0).abs() < 0.3, "p {}", low.power_mw(2.5e6));
+    }
+
+    #[test]
+    fn power_ratio_matches_paper_282x() {
+        // Paper: 2 mW at 2.5 Msps quantized is "282× lower power" than
+        // the naive implementation.
+        let naive = MatcherCost::table2(Arithmetic::FullPrecision).power_mw(20e6);
+        let low = MatcherCost { template_size: 75, protocols: 4, arithmetic: Arithmetic::Quantized }
+            .power_mw(2.5e6);
+        let ratio = naive / low;
+        assert!(ratio > 250.0 && ratio < 320.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn multibit_interpolates_between_extremes() {
+        let quant = MatcherCost::table2(Arithmetic::Quantized);
+        let full = MatcherCost::table2(Arithmetic::FullPrecision);
+        let mut prev = quant.dffs();
+        for bits in [2u8, 4, 6, 8] {
+            let c = MatcherCost::table2(Arithmetic::MultiBit(bits));
+            assert!(c.dffs() > prev, "{bits}-bit must cost more than the previous width");
+            assert!(c.dffs() < full.dffs() * 98 / 100 || bits == 8);
+            prev = c.dffs();
+        }
+        // 9-bit multi-bit equals the full-precision reference.
+        let nine = MatcherCost::table2(Arithmetic::MultiBit(9));
+        assert_eq!(nine.dffs(), full.dffs());
+    }
+
+    #[test]
+    fn smaller_templates_cost_less() {
+        let big = MatcherCost { template_size: 120, protocols: 4, arithmetic: Arithmetic::Quantized };
+        let small = MatcherCost { template_size: 60, protocols: 4, arithmetic: Arithmetic::Quantized };
+        assert!(small.dffs() < big.dffs());
+        assert!(small.luts() < big.luts());
+    }
+}

@@ -1,0 +1,145 @@
+//! Excitation-diversity scheduling (paper §4.2): tracking which carriers
+//! are on the air and picking the one that maximizes tag goodput.
+//!
+//! A multiscatter tag rides whatever excitation it identifies
+//! (uninterrupted operation, Fig. 18a) and, when several coexist, can
+//! intelligently select the carrier with the highest expected
+//! backscattered goodput (Fig. 18b).
+
+use msc_phy::protocol::Protocol;
+use std::collections::VecDeque;
+
+/// Sliding-window observation of one protocol's excitation stream.
+#[derive(Clone, Debug)]
+struct ProtocolStats {
+    arrivals: VecDeque<f64>,
+    tag_bits_per_packet: f64,
+    delivery: f64,
+}
+
+/// Tracks observed excitations and estimates per-protocol goodput.
+#[derive(Clone, Debug)]
+pub struct CarrierScheduler {
+    window_s: f64,
+    now: f64,
+    stats: [ProtocolStats; 4],
+}
+
+impl CarrierScheduler {
+    /// Creates a scheduler with an observation window (seconds).
+    pub fn new(window_s: f64) -> Self {
+        assert!(window_s > 0.0);
+        let mk = || ProtocolStats {
+            arrivals: VecDeque::new(),
+            tag_bits_per_packet: 0.0,
+            delivery: 1.0,
+        };
+        CarrierScheduler { window_s, now: 0.0, stats: [mk(), mk(), mk(), mk()] }
+    }
+
+    fn idx(p: Protocol) -> usize {
+        Protocol::ALL.iter().position(|&q| q == p).expect("protocol in ALL")
+    }
+
+    /// Records an identified excitation packet at `time` seconds carrying
+    /// capacity for `tag_bits` tag bits, with `delivery` the measured
+    /// fraction of backscattered packets the receiver decodes (1.0 when
+    /// unknown).
+    pub fn observe(&mut self, p: Protocol, time: f64, tag_bits: usize, delivery: f64) {
+        self.now = self.now.max(time);
+        let s = &mut self.stats[Self::idx(p)];
+        s.arrivals.push_back(time);
+        // Exponential smoothing of per-packet capacity and delivery.
+        let a = 0.2;
+        s.tag_bits_per_packet = (1.0 - a) * s.tag_bits_per_packet + a * tag_bits as f64;
+        s.delivery = (1.0 - a) * s.delivery + a * delivery.clamp(0.0, 1.0);
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        let cutoff = self.now - self.window_s;
+        for s in &mut self.stats {
+            while s.arrivals.front().map(|&t| t < cutoff).unwrap_or(false) {
+                s.arrivals.pop_front();
+            }
+        }
+    }
+
+    /// Observed packet rate (packets/s) for a protocol.
+    pub fn rate(&self, p: Protocol) -> f64 {
+        self.stats[Self::idx(p)].arrivals.len() as f64 / self.window_s
+    }
+
+    /// Expected tag goodput (bits/s) riding protocol `p`.
+    pub fn goodput(&self, p: Protocol) -> f64 {
+        let s = &self.stats[Self::idx(p)];
+        self.rate(p) * s.tag_bits_per_packet * s.delivery
+    }
+
+    /// The carrier with the highest expected goodput, if any excitation
+    /// has been seen in the window.
+    pub fn pick_best(&self) -> Option<Protocol> {
+        Protocol::ALL
+            .into_iter()
+            .filter(|&p| self.rate(p) > 0.0)
+            .max_by(|&a, &b| self.goodput(a).partial_cmp(&self.goodput(b)).unwrap())
+    }
+
+    /// The best carrier that meets a goodput goal (Fig. 18b's smart
+    /// bracelet needs > 6.3 kbps).
+    pub fn pick_meeting_goal(&self, goal_bps: f64) -> Option<Protocol> {
+        self.pick_best().filter(|&p| self.goodput(p) >= goal_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_reflect_observations() {
+        let mut s = CarrierScheduler::new(1.0);
+        for i in 0..50 {
+            s.observe(Protocol::WifiN, i as f64 * 0.02, 23, 1.0);
+        }
+        for i in 0..3 {
+            s.observe(Protocol::WifiB, i as f64 * 0.3, 120, 1.0);
+        }
+        assert!((s.rate(Protocol::WifiN) - 50.0).abs() < 1.0);
+        assert!(s.rate(Protocol::Ble) == 0.0);
+        assert!(s.goodput(Protocol::WifiN) > 0.0);
+    }
+
+    #[test]
+    fn eviction_forgets_old_packets() {
+        let mut s = CarrierScheduler::new(0.5);
+        s.observe(Protocol::Ble, 0.0, 10, 1.0);
+        s.observe(Protocol::Ble, 0.1, 10, 1.0);
+        assert!(s.rate(Protocol::Ble) > 0.0);
+        s.observe(Protocol::ZigBee, 2.0, 5, 1.0); // advances time
+        assert_eq!(s.rate(Protocol::Ble), 0.0, "old packets must expire");
+    }
+
+    #[test]
+    fn picks_highest_goodput_carrier() {
+        // Abundant 802.11n vs spotty 802.11b (the Fig. 18b scenario).
+        let mut s = CarrierScheduler::new(1.0);
+        for i in 0..200 {
+            s.observe(Protocol::WifiN, i as f64 * 0.005, 23, 0.9);
+        }
+        for i in 0..2 {
+            s.observe(Protocol::WifiB, i as f64 * 0.4, 120, 0.9);
+        }
+        assert_eq!(s.pick_best(), Some(Protocol::WifiN));
+        // 200/s × 23 bits × 0.9 ≈ 4.1 kbps > goal 2 kbps.
+        assert_eq!(s.pick_meeting_goal(2_000.0), Some(Protocol::WifiN));
+        // An impossible goal yields None.
+        assert_eq!(s.pick_meeting_goal(1e9), None);
+    }
+
+    #[test]
+    fn empty_scheduler_picks_nothing() {
+        let s = CarrierScheduler::new(1.0);
+        assert_eq!(s.pick_best(), None);
+    }
+}

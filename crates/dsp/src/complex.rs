@@ -1,0 +1,318 @@
+//! A minimal complex-number type for baseband signal processing.
+//!
+//! We deliberately avoid an external `num-complex` dependency: the
+//! operations needed by the modulators, FFT, and correlators are small and
+//! benefit from being in one place where they can be inlined and audited.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex sample `re + j*im` in double precision.
+///
+/// All baseband signals in this workspace are sequences of `Complex64`.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// In-phase (real) component.
+    pub re: f64,
+    /// Quadrature (imaginary) component.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + j0`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + j0`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + j1`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    ///
+    /// `magnitude * exp(j * phase)` with `phase` in radians.
+    #[inline]
+    pub fn from_polar(magnitude: f64, phase: f64) -> Self {
+        Complex64::new(magnitude * phase.cos(), magnitude * phase.sin())
+    }
+
+    /// `exp(j * phase)` — a unit-magnitude phasor.
+    #[inline]
+    pub fn cis(phase: f64) -> Self {
+        Complex64::from_polar(1.0, phase)
+    }
+
+    /// The complex conjugate `re - j*im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// The squared magnitude `re^2 + im^2` (instantaneous power).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude (absolute value / envelope).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The argument (phase) in `(-pi, pi]` radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// Rotates this sample by `phase` radians (multiplies by `exp(j*phase)`).
+    #[inline]
+    pub fn rotate(self, phase: f64) -> Self {
+        self * Complex64::cis(phase)
+    }
+
+    /// The multiplicative inverse. Returns `None` for the zero sample.
+    #[inline]
+    pub fn recip(self) -> Option<Self> {
+        let n = self.norm_sqr();
+        if n == 0.0 {
+            None
+        } else {
+            Some(Complex64::new(self.re / n, -self.im / n))
+        }
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}{:.6}j", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let n = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / n,
+            (self.im * rhs.re - self.re * rhs.im) / n,
+        )
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl DivAssign<f64> for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!(close(z.abs(), 5.0));
+        assert!(close(z.norm_sqr(), 25.0));
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!(close(z.abs(), 2.0));
+        assert!(close(z.arg(), std::f64::consts::FRAC_PI_3));
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let phase = k as f64 * 0.41;
+            assert!(close(Complex64::cis(phase).abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex64::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex64::new(4.0, 1.5));
+        // (1+2j)(-3+0.5j) = -3 + 0.5j - 6j + j^2 = -4 - 5.5j
+        assert_eq!(a * b, Complex64::new(-4.0, -5.5));
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn recip_of_zero_is_none() {
+        assert!(Complex64::ZERO.recip().is_none());
+        let z = Complex64::new(0.0, 2.0);
+        let r = z.recip().unwrap();
+        let p = z * r;
+        assert!(close(p.re, 1.0) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn rotation_preserves_magnitude() {
+        let z = Complex64::new(1.5, -0.7);
+        let r = z.rotate(1.234);
+        assert!(close(r.abs(), z.abs()));
+        assert!(close((r.arg() - z.arg()).rem_euclid(std::f64::consts::TAU), 1.234));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![Complex64::new(1.0, 1.0); 10];
+        let s: Complex64 = v.into_iter().sum();
+        assert_eq!(s, Complex64::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn multiply_by_i_rotates_quarter_turn() {
+        let z = Complex64::new(1.0, 0.0);
+        assert_eq!(z * Complex64::I, Complex64::new(0.0, 1.0));
+        assert_eq!(z * Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Correlation primitives for template matching.
+//!
+//! Two arithmetic paths mirror the paper's two implementations:
+//!
+//! * **Full precision** ([`normalized_corr`]): floating-point normalized
+//!   cross-correlation — "if computation resources are not a problem"
+//!   (paper §2.2.2, Fig. 5b).
+//! * **Sign-quantized** ([`sign_quantize`], [`quantized_corr`]): each
+//!   sample quantized to ±1 so multipliers become adders — the nano-FPGA
+//!   implementation (paper §2.3.1, Table 2).
+
+/// Pearson-style normalized cross-correlation of two equal-length windows.
+///
+/// Returns a value in `[-1, 1]`; 0 when either window has zero variance.
+pub fn normalized_corr(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation windows must have equal length");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = a[i] - ma;
+        let xb = b[i] - mb;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    let denom = (da * db).sqrt();
+    if denom < 1e-30 {
+        0.0
+    } else {
+        num / denom
+    }
+}
+
+/// Slides `template` over `signal` and returns the normalized correlation
+/// at each offset (`signal.len() - template.len() + 1` values).
+pub fn sliding_corr(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    (0..=signal.len() - template.len())
+        .map(|off| normalized_corr(&signal[off..off + template.len()], template))
+        .collect()
+}
+
+/// Quantizes samples to ±1 around a reference level (the DC estimate from
+/// the preprocessing window). This is the 1-bit quantization of §2.3.1.
+pub fn sign_quantize(signal: &[f64], dc: f64) -> Vec<i8> {
+    signal
+        .iter()
+        .map(|&x| if x >= dc { 1 } else { -1 })
+        .collect()
+}
+
+/// Integer correlation of two ±1 sequences: the count of agreements minus
+/// disagreements. On the FPGA this is pure adders (no multipliers).
+pub fn quantized_corr(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "quantized windows must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| if x == y { 1i32 } else { -1i32 })
+        .sum()
+}
+
+/// Normalized form of [`quantized_corr`] in `[-1, 1]`.
+pub fn quantized_corr_norm(a: &[i8], b: &[i8]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    quantized_corr(a, b) as f64 / a.len() as f64
+}
+
+/// Estimates DC as the mean of a preprocessing window (paper: the first
+/// `L_p` samples are reserved for DC removal and normalization).
+pub fn dc_estimate(preprocess_window: &[f64]) -> f64 {
+    if preprocess_window.is_empty() {
+        return 0.0;
+    }
+    preprocess_window.iter().sum::<f64>() / preprocess_window.len() as f64
+}
+
+/// Normalizes a window to zero mean and unit RMS using statistics from a
+/// (possibly different) preprocessing window, mirroring the tag pipeline.
+pub fn normalize_window(window: &[f64], dc: f64, rms: f64) -> Vec<f64> {
+    let scale = if rms < 1e-30 { 0.0 } else { 1.0 / rms };
+    window.iter().map(|&x| (x - dc) * scale).collect()
+}
+
+/// RMS deviation of a window about `dc`.
+pub fn rms_about(window: &[f64], dc: f64) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    (window.iter().map(|&x| (x - dc) * (x - dc)).sum::<f64>() / window.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation_is_one() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 2.0];
+        assert!((normalized_corr(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anticorrelated_is_minus_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 2.0, 1.0];
+        assert!((normalized_corr(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_offset_invariance() {
+        let a = vec![0.5, 1.5, -0.3, 2.2, 0.1];
+        let b: Vec<f64> = a.iter().map(|&x| 3.0 * x + 7.0).collect();
+        assert!((normalized_corr(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_yields_zero() {
+        let flat = vec![2.0; 8];
+        let varying = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(normalized_corr(&flat, &varying), 0.0);
+    }
+
+    #[test]
+    fn sliding_corr_finds_embedded_template() {
+        let template = vec![1.0, -1.0, 1.0, 1.0, -1.0];
+        let mut signal = vec![0.0; 20];
+        for (i, &t) in template.iter().enumerate() {
+            signal[7 + i] = t;
+        }
+        let scores = sliding_corr(&signal, &template);
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(best.0, 7);
+        assert!((best.1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_corr_short_signal_empty() {
+        assert!(sliding_corr(&[1.0], &[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn quantization_and_integer_corr() {
+        let sig = vec![0.2, 0.8, 0.1, 0.9, 0.5];
+        let q = sign_quantize(&sig, 0.5);
+        assert_eq!(q, vec![-1, 1, -1, 1, 1]);
+        assert_eq!(quantized_corr(&q, &q), 5);
+        let inv: Vec<i8> = q.iter().map(|&x| -x).collect();
+        assert_eq!(quantized_corr(&q, &inv), -5);
+        assert!((quantized_corr_norm(&q, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantized_corr_matches_float_corr_for_binary_signals() {
+        // For ±1 sequences, normalized float correlation and the integer
+        // agreement count coincide (up to mean-removal effects when the
+        // sequence is balanced).
+        let a: Vec<i8> = vec![1, -1, 1, 1, -1, -1, 1, -1];
+        let b: Vec<i8> = vec![1, -1, -1, 1, -1, 1, 1, -1];
+        let fa: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let fb: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        let qc = quantized_corr_norm(&a, &b);
+        let fc = normalized_corr(&fa, &fb);
+        assert!((qc - fc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_and_rms_helpers() {
+        let w = vec![1.0, 3.0];
+        assert_eq!(dc_estimate(&w), 2.0);
+        assert!((rms_about(&w, 2.0) - 1.0).abs() < 1e-12);
+        let n = normalize_window(&w, 2.0, 1.0);
+        assert_eq!(n, vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_windows_are_safe() {
+        assert_eq!(dc_estimate(&[]), 0.0);
+        assert_eq!(rms_about(&[], 0.0), 0.0);
+        assert_eq!(quantized_corr_norm(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Radix-2 decimation-in-time FFT.
+//!
+//! Sized for this workspace's needs: 64-point transforms for 802.11 OFDM
+//! and up to a few thousand points for spectral analysis in tests. The
+//! implementation is iterative with precomputed twiddles; no external
+//! dependency.
+
+use crate::complex::Complex64;
+
+/// A planned FFT of a fixed power-of-two size.
+///
+/// Create once, run many times; the plan owns the twiddle table and the
+/// bit-reversal permutation.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    /// Twiddles `exp(-j*2*pi*k/n)` for `k < n/2`.
+    twiddles: Vec<Complex64>,
+    /// Bit-reversed index permutation.
+    rev: Vec<usize>,
+}
+
+impl Fft {
+    /// Plans an FFT of size `n`. Panics unless `n` is a power of two ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|k| Complex64::cis(-std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n)
+            .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as usize)
+            .collect();
+        Fft { n, twiddles, rev }
+    }
+
+    /// The transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; present for API symmetry with slices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward FFT. Panics if `data.len() != n`.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "FFT input length mismatch");
+        // Bit-reversal permutation.
+        for i in 0..self.n {
+            let j = self.rev[i];
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * step];
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place inverse FFT with 1/n normalization.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        for s in data.iter_mut() {
+            *s = s.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / self.n as f64;
+        for s in data.iter_mut() {
+            *s = s.conj().scale(scale);
+        }
+    }
+
+    /// Convenience: forward transform of a slice into a new vector.
+    pub fn forward_to_vec(&self, input: &[Complex64]) -> Vec<Complex64> {
+        let mut v = input.to_vec();
+        self.forward(&mut v);
+        v
+    }
+
+    /// Convenience: inverse transform of a slice into a new vector.
+    pub fn inverse_to_vec(&self, input: &[Complex64]) -> Vec<Complex64> {
+        let mut v = input.to_vec();
+        self.inverse(&mut v);
+        v
+    }
+}
+
+/// Direct O(n^2) DFT, used as a test oracle and for odd sizes.
+pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            input
+                .iter()
+                .enumerate()
+                .map(|(t, &x)| x * Complex64::cis(-std::f64::consts::TAU * (k * t) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// Power spectral density estimate via one rectangular-window FFT,
+/// returned in natural (not shifted) bin order, normalized by n.
+pub fn power_spectrum(fft: &Fft, input: &[Complex64]) -> Vec<f64> {
+    let v = fft.forward_to_vec(input);
+    let n = v.len() as f64;
+    v.iter().map(|s| s.norm_sqr() / n).collect()
+}
+
+/// Welch PSD estimate: Hann-windowed segments of length `nfft` with 50%
+/// overlap, periodograms averaged. Returned in natural bin order,
+/// normalized so a unit-power white signal integrates to ≈ 1 across all
+/// bins. Returns an all-zero spectrum for inputs shorter than `nfft`.
+pub fn welch_psd(input: &[Complex64], nfft: usize) -> Vec<f64> {
+    assert!(nfft.is_power_of_two() && nfft >= 2);
+    if input.len() < nfft {
+        return vec![0.0; nfft];
+    }
+    let fft = Fft::new(nfft);
+    let window: Vec<f64> = (0..nfft)
+        .map(|i| {
+            0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / (nfft - 1) as f64).cos())
+        })
+        .collect();
+    let wpow: f64 = window.iter().map(|w| w * w).sum::<f64>() / nfft as f64;
+    let hop = nfft / 2;
+    let mut acc = vec![0.0f64; nfft];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + nfft <= input.len() {
+        let seg: Vec<Complex64> = input[start..start + nfft]
+            .iter()
+            .zip(&window)
+            .map(|(&s, &w)| s.scale(w))
+            .collect();
+        let spec = fft.forward_to_vec(&seg);
+        for (a, s) in acc.iter_mut().zip(&spec) {
+            *a += s.norm_sqr();
+        }
+        segments += 1;
+        start += hop;
+    }
+    let norm = 1.0 / (segments as f64 * nfft as f64 * nfft as f64 * wpow);
+    acc.iter().map(|&a| a * norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let fft = Fft::new(8);
+        let mut data = vec![Complex64::ZERO; 8];
+        data[0] = Complex64::ONE;
+        fft.forward(&mut data);
+        for s in data {
+            assert!((s - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let k0 = 5;
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(std::f64::consts::TAU * (k0 * t) as f64 / n as f64))
+            .collect();
+        fft.forward(&mut data);
+        for (k, s) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((s.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(s.abs() < 1e-9, "leakage at bin {k}: {}", s.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_dft() {
+        let n = 32;
+        let fft = Fft::new(n);
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 1.1).cos()))
+            .collect();
+        let got = fft.forward_to_vec(&input);
+        let want = dft(&input);
+        assert_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let n = 128;
+        let fft = Fft::new(n);
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut data = input.clone();
+        fft.forward(&mut data);
+        fft.inverse(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.9).cos(), (i as f64 * 0.3).sin()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|s| s.norm_sqr()).sum();
+        let freq = fft.forward_to_vec(&input);
+        let freq_energy: f64 = freq.iter().map(|s| s.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_localizes_a_tone() {
+        let n = 2048;
+        let k0 = 12; // bin of a 64-point segment
+        let input: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(std::f64::consts::TAU * k0 as f64 * t as f64 / 64.0))
+            .collect();
+        let psd = welch_psd(&input, 64);
+        let peak = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+        // The tone's power concentrates in a few bins around the peak.
+        let near: f64 = psd[k0.saturating_sub(2)..(k0 + 3).min(64)].iter().sum();
+        let total: f64 = psd.iter().sum();
+        assert!(near / total > 0.95, "concentration {}", near / total);
+        // Unit-power signal integrates to ≈ 1.
+        assert!((total - 1.0).abs() < 0.1, "total {total}");
+    }
+
+    #[test]
+    fn welch_white_noise_is_flat() {
+        // A deterministic pseudo-noise sequence: flat-ish spectrum.
+        let mut state = 1u64;
+        let input: Vec<Complex64> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((state >> 33) as f64 / 2f64.powi(30)) - 1.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((state >> 33) as f64 / 2f64.powi(30)) - 1.0;
+                Complex64::new(a, b)
+            })
+            .collect();
+        let psd = welch_psd(&input, 64);
+        let mean = psd.iter().sum::<f64>() / 64.0;
+        for (k, &p) in psd.iter().enumerate() {
+            assert!(p < mean * 3.0 && p > mean / 5.0, "bin {k}: {p} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn welch_short_input_is_zero() {
+        let input = vec![Complex64::ONE; 10];
+        assert!(welch_psd(&input, 64).iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = Fft::new(48);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_length_mismatch() {
+        let fft = Fft::new(8);
+        let mut data = vec![Complex64::ZERO; 4];
+        fft.forward(&mut data);
+    }
+}

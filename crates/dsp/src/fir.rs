@@ -1,0 +1,236 @@
+//! FIR filtering and pulse-shaping filter design.
+//!
+//! Provides the shaping filters the PHYs need: windowed-sinc low-pass
+//! (band-limiting DSSS/OFDM waveforms so phase transitions produce the
+//! envelope dips the tag's detector keys on), the Gaussian filter for BLE
+//! GFSK, and the half-sine pulse for ZigBee OQPSK.
+
+use crate::complex::Complex64;
+
+/// A real-coefficient FIR filter.
+#[derive(Clone, Debug)]
+pub struct Fir {
+    taps: Vec<f64>,
+}
+
+impl Fir {
+    /// Wraps raw taps. Panics if empty.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR filter needs at least one tap");
+        Fir { taps }
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// True when the filter has no taps (never: constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Group delay in samples for a symmetric filter: `(len-1)/2`.
+    pub fn group_delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// Normalizes taps to unit DC gain (sum of taps = 1).
+    pub fn normalized_dc(mut self) -> Self {
+        let sum: f64 = self.taps.iter().sum();
+        if sum.abs() > 1e-30 {
+            for t in &mut self.taps {
+                *t /= sum;
+            }
+        }
+        self
+    }
+
+    /// Full linear convolution with a complex signal
+    /// (output length `signal.len() + taps.len() - 1`).
+    pub fn convolve(&self, signal: &[Complex64]) -> Vec<Complex64> {
+        let n = signal.len() + self.taps.len() - 1;
+        let mut out = vec![Complex64::ZERO; n];
+        for (i, &x) in signal.iter().enumerate() {
+            for (j, &h) in self.taps.iter().enumerate() {
+                out[i + j] += x.scale(h);
+            }
+        }
+        out
+    }
+
+    /// "Same-length" filtering: convolves and trims the group delay from
+    /// both ends so the output aligns with the input.
+    pub fn filter_same(&self, signal: &[Complex64]) -> Vec<Complex64> {
+        let full = self.convolve(signal);
+        let d = self.group_delay();
+        full[d..d + signal.len()].to_vec()
+    }
+
+    /// Real-signal variant of [`Fir::filter_same`].
+    pub fn filter_same_real(&self, signal: &[f64]) -> Vec<f64> {
+        let complex: Vec<Complex64> = signal.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+        self.filter_same(&complex).iter().map(|s| s.re).collect()
+    }
+
+    /// Windowed-sinc low-pass filter.
+    ///
+    /// * `cutoff_norm` — cutoff as a fraction of the sample rate (0, 0.5).
+    /// * `num_taps` — odd tap count (even counts are bumped by one).
+    ///
+    /// Uses a Hamming window; DC gain normalized to 1.
+    pub fn lowpass(cutoff_norm: f64, num_taps: usize) -> Self {
+        assert!(
+            cutoff_norm > 0.0 && cutoff_norm < 0.5,
+            "cutoff must be in (0, 0.5) of the sample rate, got {cutoff_norm}"
+        );
+        let n = if num_taps % 2 == 0 { num_taps + 1 } else { num_taps };
+        let m = (n - 1) as f64;
+        let taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 - m / 2.0;
+                let sinc = if x == 0.0 {
+                    2.0 * cutoff_norm
+                } else {
+                    (std::f64::consts::TAU * cutoff_norm * x).sin() / (std::f64::consts::PI * x)
+                };
+                let window =
+                    0.54 - 0.46 * (std::f64::consts::TAU * i as f64 / m).cos();
+                sinc * window
+            })
+            .collect();
+        Fir::new(taps).normalized_dc()
+    }
+
+    /// Gaussian pulse-shaping filter for GFSK.
+    ///
+    /// * `bt` — bandwidth-time product (0.5 for BLE).
+    /// * `sps` — samples per symbol.
+    /// * `span_symbols` — filter length in symbols (typically 3).
+    ///
+    /// DC gain normalized to 1 so the frequency deviation is preserved.
+    pub fn gaussian(bt: f64, sps: usize, span_symbols: usize) -> Self {
+        assert!(bt > 0.0 && sps >= 1 && span_symbols >= 1);
+        let n = sps * span_symbols + 1;
+        let m = (n - 1) as f64;
+        // Standard Gaussian filter: h(t) ∝ exp(-alpha^2 t^2 / T^2) with
+        // alpha = sqrt(ln 2 / 2) / BT.
+        let alpha = (2.0_f64.ln() / 2.0).sqrt() / bt;
+        let taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = (i as f64 - m / 2.0) / sps as f64; // in symbol periods
+                (-(alpha * std::f64::consts::PI * t).powi(2) / (std::f64::consts::PI / 2.0)).exp()
+            })
+            .collect();
+        Fir::new(taps).normalized_dc()
+    }
+
+    /// Half-sine pulse over one chip (`sps` samples), as used by
+    /// 802.15.4 OQPSK chip shaping.
+    pub fn half_sine(sps: usize) -> Self {
+        assert!(sps >= 1);
+        let taps: Vec<f64> = (0..sps)
+            .map(|i| (std::f64::consts::PI * (i as f64 + 0.5) / sps as f64).sin())
+            .collect();
+        Fir::new(taps)
+    }
+}
+
+/// Upsample by `factor` (zero-stuffing) then shape with `filter`,
+/// output aligned to input start. The standard pulse-shaping pipeline.
+pub fn shape_upsampled(symbols: &[Complex64], factor: usize, filter: &Fir) -> Vec<Complex64> {
+    assert!(factor >= 1);
+    let mut stuffed = vec![Complex64::ZERO; symbols.len() * factor];
+    for (i, &s) in symbols.iter().enumerate() {
+        stuffed[i * factor] = s.scale(factor as f64); // preserve amplitude
+    }
+    filter.filter_same(&stuffed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_passes_through() {
+        let f = Fir::new(vec![1.0]);
+        let sig: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        assert_eq!(f.filter_same(&sig), sig);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let f = Fir::new(vec![0.25; 4]);
+        let sig = vec![Complex64::ONE; 16];
+        let out = f.filter_same(&sig);
+        // Steady-state region should equal 1.
+        assert!((out[8].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_frequency() {
+        let f = Fir::lowpass(0.1, 63);
+        let n = 256;
+        // Low tone at 0.02 fs, high tone at 0.4 fs.
+        let low: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(std::f64::consts::TAU * 0.02 * i as f64))
+            .collect();
+        let high: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(std::f64::consts::TAU * 0.4 * i as f64))
+            .collect();
+        let low_out = f.filter_same(&low);
+        let high_out = f.filter_same(&high);
+        let p = |v: &[Complex64]| v[64..192].iter().map(|s| s.norm_sqr()).sum::<f64>();
+        assert!(p(&low_out) > 100.0 * p(&high_out), "low {} high {}", p(&low_out), p(&high_out));
+    }
+
+    #[test]
+    fn lowpass_dc_gain_is_unity() {
+        let f = Fir::lowpass(0.2, 31);
+        assert!((f.taps().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_taps_are_symmetric_and_positive() {
+        let f = Fir::gaussian(0.5, 8, 3);
+        let t = f.taps();
+        for i in 0..t.len() / 2 {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12);
+            assert!(t[i] > 0.0);
+        }
+        assert!((t.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_sine_peaks_mid_chip() {
+        let f = Fir::half_sine(8);
+        let t = f.taps();
+        let max_idx = t
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(max_idx == 3 || max_idx == 4);
+        assert!(t[0] > 0.0 && t[0] < 0.3);
+    }
+
+    #[test]
+    fn shape_upsampled_length() {
+        let f = Fir::lowpass(0.1, 21);
+        let syms = vec![Complex64::ONE; 10];
+        let out = shape_upsampled(&syms, 4, &f);
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn group_delay_of_symmetric_filter() {
+        assert_eq!(Fir::lowpass(0.1, 31).group_delay(), 15);
+        assert_eq!(Fir::new(vec![1.0]).group_delay(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # msc-dsp — DSP substrate for the multiscatter reproduction
+//!
+//! From-scratch signal-processing primitives shared by every other crate
+//! in the workspace: complex samples, rate-tagged IQ buffers, an FFT,
+//! FIR/pulse-shaping filters, resamplers, the correlation kernels behind
+//! the tag's template matcher, and unit/statistics helpers.
+//!
+//! Nothing here is specific to the paper; it is the portable math layer
+//! that the PHYs, analog front-end, channel models, and tag are built on.
+
+#![warn(missing_docs)]
+
+pub mod buf;
+pub mod complex;
+pub mod corr;
+pub mod fft;
+pub mod fir;
+pub mod rate;
+pub mod resample;
+pub mod stats;
+pub mod units;
+
+pub use buf::IqBuf;
+pub use complex::Complex64;
+pub use fft::Fft;
+pub use fir::Fir;
+pub use rate::SampleRate;

@@ -1,0 +1,146 @@
+//! Sample-rate bookkeeping.
+//!
+//! Every buffer of samples in this workspace carries its sample rate, so
+//! the type system can catch rate mismatches that would otherwise show up
+//! as silently garbled correlations.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A sample rate in samples per second (Hz).
+///
+/// Stored as `f64` so fractional resampler outputs remain representable,
+/// but the common constructors take integer Hz.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct SampleRate(f64);
+
+impl SampleRate {
+    /// 20 Msps — the tag ADC's full sampling rate in the paper.
+    pub const ADC_FULL: SampleRate = SampleRate(20_000_000.0);
+    /// 10 Msps — first downsampled identification rate (Fig. 7).
+    pub const ADC_HALF: SampleRate = SampleRate(10_000_000.0);
+    /// 2.5 Msps — the paper's lowest high-accuracy rate (Fig. 8b).
+    pub const ADC_LOW: SampleRate = SampleRate(2_500_000.0);
+    /// 1 Msps — below the usable floor (Fig. 8c).
+    pub const ADC_FLOOR: SampleRate = SampleRate(1_000_000.0);
+
+    /// Creates a sample rate from Hz. Panics if non-positive or non-finite.
+    #[inline]
+    pub fn hz(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "sample rate must be positive and finite, got {rate}"
+        );
+        SampleRate(rate)
+    }
+
+    /// Creates a sample rate from MHz.
+    #[inline]
+    pub fn mhz(rate: f64) -> Self {
+        SampleRate::hz(rate * 1e6)
+    }
+
+    /// The rate in Hz.
+    #[inline]
+    pub fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in Msps.
+    #[inline]
+    pub fn as_msps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Duration of one sample period.
+    #[inline]
+    pub fn period(self) -> f64 {
+        1.0 / self.0
+    }
+
+    /// Number of samples covering `duration` seconds (rounded to nearest).
+    #[inline]
+    pub fn samples_in(self, seconds: f64) -> usize {
+        (seconds * self.0).round() as usize
+    }
+
+    /// Number of samples covering a [`Duration`].
+    #[inline]
+    pub fn samples_in_duration(self, d: Duration) -> usize {
+        self.samples_in(d.as_secs_f64())
+    }
+
+    /// Seconds spanned by `n` samples at this rate.
+    #[inline]
+    pub fn seconds_for(self, n: usize) -> f64 {
+        n as f64 / self.0
+    }
+
+    /// The integer decimation factor from `self` down to `target`.
+    ///
+    /// Returns `None` when `self` is not an integer multiple of `target`
+    /// (within floating-point tolerance).
+    pub fn decimation_to(self, target: SampleRate) -> Option<usize> {
+        let ratio = self.0 / target.0;
+        let rounded = ratio.round();
+        if rounded >= 1.0 && (ratio - rounded).abs() < 1e-9 * ratio {
+            Some(rounded as usize)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for SampleRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Msps", self.as_msps())
+    }
+}
+
+impl fmt::Display for SampleRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        let r = SampleRate::mhz(20.0);
+        assert_eq!(r.as_hz(), 20e6);
+        assert_eq!(r.as_msps(), 20.0);
+        assert_eq!(r, SampleRate::ADC_FULL);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        let _ = SampleRate::hz(0.0);
+    }
+
+    #[test]
+    fn sample_counting() {
+        let r = SampleRate::mhz(20.0);
+        // The 8 us BLE preamble covers 160 samples at 20 Msps (paper §2.2.2).
+        assert_eq!(r.samples_in(8e-6), 160);
+        assert!((r.seconds_for(160) - 8e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn decimation_factors() {
+        assert_eq!(SampleRate::ADC_FULL.decimation_to(SampleRate::ADC_HALF), Some(2));
+        assert_eq!(SampleRate::ADC_FULL.decimation_to(SampleRate::ADC_LOW), Some(8));
+        assert_eq!(SampleRate::ADC_FULL.decimation_to(SampleRate::ADC_FLOOR), Some(20));
+        assert_eq!(SampleRate::ADC_LOW.decimation_to(SampleRate::ADC_FULL), None);
+        assert_eq!(SampleRate::mhz(3.0).decimation_to(SampleRate::mhz(2.0)), None);
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let r = SampleRate::mhz(2.5);
+        assert_eq!(r.samples_in_duration(Duration::from_micros(40)), 100);
+    }
+}

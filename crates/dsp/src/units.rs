@@ -1,0 +1,86 @@
+//! Power/amplitude unit conversions (dB, dBm, watts) used across the
+//! channel models and link-budget code.
+
+/// Converts a linear power ratio to decibels.
+#[inline]
+pub fn lin_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts power in watts to dBm.
+#[inline]
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    10.0 * (watts * 1e3).log10()
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0) * 1e-3
+}
+
+/// Converts dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts milliwatts to dBm.
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    10.0 * mw.log10()
+}
+
+/// Amplitude ratio corresponding to a power change in dB
+/// (`sqrt` of the linear power ratio).
+#[inline]
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Power change in dB corresponding to an amplitude ratio.
+#[inline]
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for &db in &[-30.0, -3.0, 0.0, 3.0, 10.0, 30.0] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_points() {
+        assert!((db_to_lin(3.0103) - 2.0).abs() < 1e-4);
+        assert!((db_to_lin(10.0) - 10.0).abs() < 1e-12);
+        assert!((watts_to_dbm(1.0) - 30.0).abs() < 1e-12);
+        assert!((dbm_to_watts(0.0) - 1e-3).abs() < 1e-18);
+        assert!((dbm_to_mw(-13.0) - 0.0501187).abs() < 1e-6);
+    }
+
+    #[test]
+    fn amplitude_vs_power() {
+        // +6 dB power = 2x amplitude (approximately).
+        assert!((db_to_amplitude(6.0206) - 2.0).abs() < 1e-4);
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbm_mw_round_trip() {
+        for &dbm in &[-90.0, -75.0, -13.0, 0.0, 30.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-12);
+        }
+    }
+}

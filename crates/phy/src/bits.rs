@@ -1,0 +1,155 @@
+//! Bit-vector helpers shared by all PHY layers.
+//!
+//! Bits are represented as `Vec<u8>` with values 0/1 — slower than a
+//! packed representation but transparent in tests and fast enough for the
+//! packet sizes involved (hundreds of bytes).
+
+use rand::Rng;
+
+/// Expands bytes to bits, least-significant bit first (the over-the-air
+/// order for 802.11, BLE, and 802.15.4).
+pub fn bytes_to_bits_lsb(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in 0..8 {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Expands bytes to bits, most-significant bit first.
+pub fn bytes_to_bits_msb(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits into bytes, LSB-first. Trailing partial bytes are
+/// zero-padded in the high positions.
+pub fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | ((b & 1) << i))
+        })
+        .collect()
+}
+
+/// Packs bits into bytes, MSB-first.
+pub fn bits_to_bytes_msb(bits: &[u8]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | ((b & 1) << (7 - i)))
+        })
+        .collect()
+}
+
+/// XOR of two equal-length bit slices.
+pub fn xor_bits(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "xor_bits length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x ^ y) & 1).collect()
+}
+
+/// Hamming distance between two equal-length bit slices.
+pub fn hamming(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming length mismatch");
+    a.iter().zip(b).filter(|(&x, &y)| (x & 1) != (y & 1)).count()
+}
+
+/// Bit error rate between a transmitted and received bit stream, compared
+/// over the overlapping prefix. Missing tail bits count as errors,
+/// which penalizes truncated decodes.
+pub fn ber(tx: &[u8], rx: &[u8]) -> f64 {
+    if tx.is_empty() {
+        return 0.0;
+    }
+    let overlap = tx.len().min(rx.len());
+    let errors = hamming(&tx[..overlap], &rx[..overlap]) + (tx.len() - overlap);
+    errors as f64 / tx.len() as f64
+}
+
+/// `n` uniformly random bits.
+pub fn random_bits<R: Rng>(rng: &mut R, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0..=1) as u8).collect()
+}
+
+/// `n` uniformly random bytes.
+pub fn random_bytes<R: Rng>(rng: &mut R, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Majority vote over a slice of bits; ties break to 1.
+pub fn majority(bits: &[u8]) -> u8 {
+    let ones = bits.iter().filter(|&&b| b & 1 == 1).count();
+    u8::from(ones * 2 >= bits.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lsb_round_trip() {
+        let bytes = vec![0xA5, 0x01, 0xFF, 0x00];
+        assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
+    }
+
+    #[test]
+    fn msb_round_trip() {
+        let bytes = vec![0xA5, 0x01, 0xFF, 0x00];
+        assert_eq!(bits_to_bytes_msb(&bytes_to_bits_msb(&bytes)), bytes);
+    }
+
+    #[test]
+    fn lsb_order_is_correct() {
+        // 0xAA = 0b1010_1010 → LSB-first: 0,1,0,1,0,1,0,1
+        assert_eq!(bytes_to_bits_lsb(&[0xAA]), vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert_eq!(bytes_to_bits_msb(&[0xAA]), vec![1, 0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = vec![1, 0, 1, 1];
+        let b = vec![1, 1, 0, 1];
+        assert_eq!(xor_bits(&a, &b), vec![0, 1, 1, 0]);
+        assert_eq!(hamming(&a, &b), 2);
+    }
+
+    #[test]
+    fn ber_counts_truncation_as_errors() {
+        let tx = vec![1, 1, 1, 1];
+        let rx = vec![1, 0];
+        // 1 bit error in overlap + 2 missing = 3/4.
+        assert!((ber(&tx, &rx) - 0.75).abs() < 1e-12);
+        assert_eq!(ber(&tx, &tx), 0.0);
+        assert_eq!(ber(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn majority_votes() {
+        assert_eq!(majority(&[1, 1, 0]), 1);
+        assert_eq!(majority(&[0, 0, 1]), 0);
+        assert_eq!(majority(&[1, 0]), 1); // tie → 1
+    }
+
+    #[test]
+    fn random_bits_are_binary() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bits = random_bits(&mut rng, 1000);
+        assert!(bits.iter().all(|&b| b <= 1));
+        let ones = bits.iter().filter(|&&b| b == 1).count();
+        assert!(ones > 400 && ones < 600, "suspicious bias: {ones}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Rate-1/2 binary convolutional code (K=7, generators 133/171 octal)
+//! with a hard-decision Viterbi decoder — the BCC used by 802.11a/g/n.
+//!
+//! Higher rates via puncturing are provided for completeness (the paper
+//! uses MCS 0 = rate 1/2 BPSK, so the unpunctured path is the hot one).
+
+/// Generator polynomials, octal 133 and 171 (K = 7).
+const G0: u8 = 0o133;
+const G1: u8 = 0o171;
+const STATES: usize = 64;
+
+/// Encodes `bits` at rate 1/2. Output holds `2 * bits.len()` coded bits
+/// (g0 bit then g1 bit per input). The encoder starts in state 0; callers
+/// append 6 zero tail bits if they need trellis termination.
+pub fn encode(bits: &[u8]) -> Vec<u8> {
+    let mut state = 0u8; // 6-bit state, most recent bit in MSB position 5
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    for &b in bits {
+        let reg = ((b & 1) << 6) | state; // 7-bit register, newest at bit 6
+        out.push(parity(reg & G0));
+        out.push(parity(reg & G1));
+        state = reg >> 1;
+    }
+    out
+}
+
+#[inline]
+fn parity(v: u8) -> u8 {
+    (v.count_ones() & 1) as u8
+}
+
+/// Hard-decision Viterbi decoding of rate-1/2 coded bits.
+///
+/// `coded.len()` must be even; output has `coded.len() / 2` bits.
+/// Assumes the encoder started in state 0; traceback ends at the best
+/// final state (works with or without tail bits).
+pub fn viterbi_decode(coded: &[u8]) -> Vec<u8> {
+    let symbols: Vec<i8> = coded.iter().map(|&b| (b & 1) as i8).collect();
+    viterbi_decode_erasures(&symbols)
+}
+
+/// Erasure-aware Viterbi decoding. Each element is 0, 1, or -1 (erasure);
+/// erased positions contribute no branch metric, which is how punctured
+/// streams should be decoded.
+pub fn viterbi_decode_erasures(coded: &[i8]) -> Vec<u8> {
+    assert!(coded.len() % 2 == 0, "rate-1/2 coded stream must have even length");
+    let steps = coded.len() / 2;
+    if steps == 0 {
+        return Vec::new();
+    }
+
+    // Precompute per-(state, input) outputs.
+    let mut outputs = [[0u8; 2]; STATES * 2];
+    for state in 0..STATES {
+        for input in 0..2 {
+            let reg = ((input as u8) << 6) | state as u8;
+            outputs[state * 2 + input] = [parity(reg & G0), parity(reg & G1)];
+        }
+    }
+
+    const INF: u32 = u32::MAX / 2;
+    let mut metric = [INF; STATES];
+    metric[0] = 0;
+    // survivors[t][state] = (previous state, input bit)
+    let mut survivors: Vec<[(u8, u8); STATES]> = Vec::with_capacity(steps);
+
+    for t in 0..steps {
+        let r0 = coded[2 * t];
+        let r1 = coded[2 * t + 1];
+        let mut next = [INF; STATES];
+        let mut surv = [(0u8, 0u8); STATES];
+        for state in 0..STATES {
+            let m = metric[state];
+            if m >= INF {
+                continue;
+            }
+            for input in 0..2usize {
+                let out = outputs[state * 2 + input];
+                let cost = |r: i8, o: u8| -> u32 {
+                    if r < 0 {
+                        0 // erasure: no information
+                    } else {
+                        (o ^ (r as u8 & 1)) as u32
+                    }
+                };
+                let branch = cost(r0, out[0]) + cost(r1, out[1]);
+                let ns = (((input << 6) | state) >> 1) & 0x3F;
+                let cand = m + branch;
+                if cand < next[ns] {
+                    next[ns] = cand;
+                    surv[ns] = (state as u8, input as u8);
+                }
+            }
+        }
+        metric = next;
+        survivors.push(surv);
+    }
+
+    // Traceback from the best final state.
+    let mut state = metric
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &m)| m)
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    let mut decoded = vec![0u8; steps];
+    for t in (0..steps).rev() {
+        let (prev, input) = survivors[t][state];
+        decoded[t] = input;
+        state = prev as usize;
+    }
+    decoded
+}
+
+/// Puncturing patterns for the 802.11 rates built on the mother code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Puncture {
+    /// Rate 1/2 (no puncturing).
+    R12,
+    /// Rate 2/3.
+    R23,
+    /// Rate 3/4.
+    R34,
+}
+
+impl Puncture {
+    fn pattern(self) -> &'static [bool] {
+        // Per pair (g0, g1): true = keep.
+        match self {
+            Puncture::R12 => &[true, true],
+            Puncture::R23 => &[true, true, true, false],
+            Puncture::R34 => &[true, true, true, false, false, true],
+        }
+    }
+
+    /// Coded bits produced per input bit (numerator/denominator form).
+    pub fn rate(self) -> (usize, usize) {
+        match self {
+            Puncture::R12 => (1, 2),
+            Puncture::R23 => (2, 3),
+            Puncture::R34 => (3, 4),
+        }
+    }
+}
+
+/// Punctures a rate-1/2 coded stream.
+pub fn puncture(coded: &[u8], p: Puncture) -> Vec<u8> {
+    let pat = p.pattern();
+    coded
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| pat[i % pat.len()])
+        .map(|(_, &b)| b)
+        .collect()
+}
+
+/// Depunctures into a rate-1/2 erasure stream (-1 marks punctured
+/// positions) suitable for [`viterbi_decode_erasures`].
+pub fn depuncture(punctured: &[u8], p: Puncture, original_len: usize) -> Vec<i8> {
+    let pat = p.pattern();
+    let mut out = Vec::with_capacity(original_len);
+    let mut src = punctured.iter();
+    for i in 0..original_len {
+        if pat[i % pat.len()] {
+            out.push(src.next().map(|&b| (b & 1) as i8).unwrap_or(-1));
+        } else {
+            out.push(-1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn known_encoding_first_steps() {
+        // From state 0, input 1: register = 1000000b.
+        // g0 = 133o = 1011011b → parity(1000000 & 1011011) = 1
+        // g1 = 171o = 1111001b → parity(1000000 & 1111001) = 1
+        assert_eq!(encode(&[1]), vec![1, 1]);
+        assert_eq!(encode(&[0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn round_trip_clean_channel() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let n = rng.gen_range(10..200);
+            let mut bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1) as u8).collect();
+            // Tail bits terminate the trellis.
+            bits.extend_from_slice(&[0; 6]);
+            let coded = encode(&bits);
+            let decoded = viterbi_decode(&coded);
+            assert_eq!(decoded, bits);
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bits: Vec<u8> = (0..120).map(|_| rng.gen_range(0..=1) as u8).collect();
+        bits.extend_from_slice(&[0; 6]);
+        let mut coded = encode(&bits);
+        // Flip well-separated bits: free distance 10 ⇒ isolated errors fix.
+        for &idx in &[10usize, 60, 110, 170, 230] {
+            coded[idx] ^= 1;
+        }
+        assert_eq!(viterbi_decode(&coded), bits);
+    }
+
+    #[test]
+    fn burst_errors_eventually_break_it() {
+        let bits = vec![1u8; 40];
+        let mut coded = encode(&bits);
+        for b in coded.iter_mut().take(20) {
+            *b ^= 1;
+        }
+        let decoded = viterbi_decode(&coded);
+        assert_ne!(decoded, bits, "a 20-bit burst should defeat the code");
+    }
+
+    #[test]
+    fn puncture_round_trip_lengths() {
+        let coded = vec![1u8; 24];
+        for p in [Puncture::R12, Puncture::R23, Puncture::R34] {
+            let punct = puncture(&coded, p);
+            let kept = p.pattern().iter().filter(|&&k| k).count();
+            assert_eq!(punct.len(), coded.len() * kept / p.pattern().len());
+            let depunct = depuncture(&punct, p, coded.len());
+            assert_eq!(depunct.len(), coded.len());
+        }
+    }
+
+    #[test]
+    fn punctured_rate34_still_decodes_clean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bits: Vec<u8> = (0..90).map(|_| rng.gen_range(0..=1) as u8).collect();
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits);
+        let punct = puncture(&coded, Puncture::R34);
+        let depunct = depuncture(&punct, Puncture::R34, coded.len());
+        let decoded = viterbi_decode_erasures(&depunct);
+        assert_eq!(decoded, bits, "rate-3/4 must decode cleanly on a clean channel");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(encode(&[]).is_empty());
+        assert!(viterbi_decode(&[]).is_empty());
+    }
+}

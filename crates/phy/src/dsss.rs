@@ -1,0 +1,238 @@
+//! DSSS building blocks for 802.11b: Barker-11 spreading, DBPSK/DQPSK
+//! differential phases, and CCK codeword generation/correlation.
+
+use msc_dsp::Complex64;
+
+/// The 11-chip Barker sequence used by 1 and 2 Mbps 802.11b.
+pub const BARKER11: [f64; 11] = [1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+
+/// Chips per second for all 802.11b rates.
+pub const CHIP_RATE: f64 = 11e6;
+
+/// DQPSK phase increment for a dibit, per 802.11-2016 Table 16-2:
+/// (b0, b1): 00→0, 01→π/2, 11→π, 10→3π/2.
+pub fn dqpsk_phase(b0: u8, b1: u8) -> f64 {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    match (b0 & 1, b1 & 1) {
+        (0, 0) => 0.0,
+        (0, 1) => FRAC_PI_2,
+        (1, 1) => PI,
+        (1, 0) => 3.0 * FRAC_PI_2,
+        _ => unreachable!(),
+    }
+}
+
+/// Inverse of [`dqpsk_phase`]: nearest dibit for a measured phase delta.
+pub fn dqpsk_demap(delta: f64) -> (u8, u8) {
+    use std::f64::consts::{FRAC_PI_2, TAU};
+    let sector = ((delta.rem_euclid(TAU) + FRAC_PI_2 / 2.0) / FRAC_PI_2).floor() as i64 % 4;
+    match sector {
+        0 => (0, 0),
+        1 => (0, 1),
+        2 => (1, 1),
+        3 => (1, 0),
+        _ => unreachable!(),
+    }
+}
+
+/// DBPSK phase increment: bit 1 → π, bit 0 → 0.
+pub fn dbpsk_phase(bit: u8) -> f64 {
+    if bit & 1 == 1 {
+        std::f64::consts::PI
+    } else {
+        0.0
+    }
+}
+
+/// Spreads one symbol phase with the Barker sequence: 11 chips of
+/// `exp(j*phase) * barker[i]`.
+pub fn barker_spread(phase: f64) -> [Complex64; 11] {
+    let rot = Complex64::cis(phase);
+    let mut out = [Complex64::ZERO; 11];
+    for (i, &b) in BARKER11.iter().enumerate() {
+        out[i] = rot.scale(b);
+    }
+    out
+}
+
+/// Despreads 11 chips against the Barker sequence, returning the complex
+/// correlation (whose angle is the symbol phase).
+pub fn barker_despread(chips: &[Complex64]) -> Complex64 {
+    assert!(chips.len() >= 11, "need 11 chips to despread");
+    let mut acc = Complex64::ZERO;
+    for (i, &b) in BARKER11.iter().enumerate() {
+        acc += chips[i].scale(b);
+    }
+    acc
+}
+
+/// Builds the 8-chip CCK codeword from the four phases (802.11-2016
+/// Eq. 16-1): `c = (e^{j(φ1+φ2+φ3+φ4)}, e^{j(φ1+φ3+φ4)}, e^{j(φ1+φ2+φ4)},
+/// -e^{j(φ1+φ4)}, e^{j(φ1+φ2+φ3)}, e^{j(φ1+φ3)}, -e^{j(φ1+φ2)}, e^{jφ1})`.
+pub fn cck_codeword(phi1: f64, phi2: f64, phi3: f64, phi4: f64) -> [Complex64; 8] {
+    let e = Complex64::cis;
+    [
+        e(phi1 + phi2 + phi3 + phi4),
+        e(phi1 + phi3 + phi4),
+        e(phi1 + phi2 + phi4),
+        -e(phi1 + phi4),
+        e(phi1 + phi2 + phi3),
+        e(phi1 + phi3),
+        -e(phi1 + phi2),
+        e(phi1),
+    ]
+}
+
+/// CCK-5.5 phase assignment for data bits (d2, d3):
+/// φ2 = d2·π + π/2, φ3 = 0, φ4 = d3·π.
+pub fn cck55_phases(d2: u8, d3: u8) -> (f64, f64, f64) {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    (
+        (d2 & 1) as f64 * PI + FRAC_PI_2,
+        0.0,
+        (d3 & 1) as f64 * PI,
+    )
+}
+
+/// CCK-11 phase assignment: (d2,d3)→φ2, (d4,d5)→φ3, (d6,d7)→φ4 via the
+/// QPSK table 00→0, 01→π/2, 10→π, 11→3π/2.
+pub fn cck11_phases(d: &[u8]) -> (f64, f64, f64) {
+    assert_eq!(d.len(), 6);
+    use std::f64::consts::FRAC_PI_2;
+    let qpsk = |a: u8, b: u8| ((a & 1) as f64 * 2.0 + (b & 1) as f64) * FRAC_PI_2;
+    (qpsk(d[0], d[1]), qpsk(d[2], d[3]), qpsk(d[4], d[5]))
+}
+
+/// All (d2, d3) candidates for CCK-5.5 with their codewords at φ1 = 0,
+/// used by the receiver's maximum-likelihood search.
+pub fn cck55_candidates() -> Vec<((u8, u8), [Complex64; 8])> {
+    let mut out = Vec::with_capacity(4);
+    for d2 in 0..2u8 {
+        for d3 in 0..2u8 {
+            let (p2, p3, p4) = cck55_phases(d2, d3);
+            out.push(((d2, d3), cck_codeword(0.0, p2, p3, p4)));
+        }
+    }
+    out
+}
+
+/// All 64 CCK-11 data-phase candidates at φ1 = 0.
+pub fn cck11_candidates() -> Vec<([u8; 6], [Complex64; 8])> {
+    let mut out = Vec::with_capacity(64);
+    for v in 0..64u8 {
+        let d = [
+            (v >> 5) & 1,
+            (v >> 4) & 1,
+            (v >> 3) & 1,
+            (v >> 2) & 1,
+            (v >> 1) & 1,
+            v & 1,
+        ];
+        let (p2, p3, p4) = cck11_phases(&d);
+        out.push((d, cck_codeword(0.0, p2, p3, p4)));
+    }
+    out
+}
+
+/// Correlates 8 received chips against a candidate codeword; returns the
+/// complex correlation (angle ≈ φ1, magnitude = match quality).
+pub fn cck_correlate(chips: &[Complex64], codeword: &[Complex64; 8]) -> Complex64 {
+    assert!(chips.len() >= 8, "need 8 chips for CCK correlation");
+    let mut acc = Complex64::ZERO;
+    for i in 0..8 {
+        acc += chips[i] * codeword[i].conj();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barker_autocorrelation_peak() {
+        // Barker sequences have |sidelobes| <= 1 while the peak is 11.
+        let peak: f64 = BARKER11.iter().map(|&b| b * b).sum();
+        assert_eq!(peak, 11.0);
+        for shift in 1..11 {
+            let side: f64 = (0..11 - shift)
+                .map(|i| BARKER11[i] * BARKER11[i + shift])
+                .sum();
+            assert!(side.abs() <= 1.0 + 1e-12, "sidelobe {side} at shift {shift}");
+        }
+    }
+
+    #[test]
+    fn spread_despread_round_trip() {
+        for k in 0..8 {
+            let phase = k as f64 * std::f64::consts::FRAC_PI_4;
+            let chips = barker_spread(phase);
+            let z = barker_despread(&chips);
+            assert!((z.abs() - 11.0).abs() < 1e-9);
+            let err = (z.arg() - phase).rem_euclid(std::f64::consts::TAU);
+            assert!(err < 1e-9 || err > std::f64::consts::TAU - 1e-9);
+        }
+    }
+
+    #[test]
+    fn dqpsk_map_demap() {
+        for b0 in 0..2u8 {
+            for b1 in 0..2u8 {
+                let phase = dqpsk_phase(b0, b1);
+                assert_eq!(dqpsk_demap(phase), (b0, b1));
+                // With ±0.5 rad noise the decision must still hold.
+                assert_eq!(dqpsk_demap(phase + 0.5), (b0, b1));
+                assert_eq!(dqpsk_demap(phase - 0.5), (b0, b1));
+            }
+        }
+    }
+
+    #[test]
+    fn cck_codewords_are_unit_magnitude() {
+        for (_, cw) in cck11_candidates() {
+            for c in cw {
+                assert!((c.abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cck_candidates_are_distinguishable() {
+        // Distinct codewords must have cross-correlation magnitude < 8.
+        let cands = cck11_candidates();
+        for i in 0..cands.len() {
+            for j in 0..cands.len() {
+                let c = cck_correlate(&cands[i].1, &cands[j].1);
+                if i == j {
+                    assert!((c.abs() - 8.0).abs() < 1e-9);
+                } else {
+                    assert!(c.abs() < 8.0 - 1e-6, "codewords {i},{j} too similar");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cck55_decode_by_correlation() {
+        for d2 in 0..2u8 {
+            for d3 in 0..2u8 {
+                let (p2, p3, p4) = cck55_phases(d2, d3);
+                let phi1 = 1.1;
+                let tx = cck_codeword(phi1, p2, p3, p4);
+                // Receiver: try all candidates, pick max |corr|.
+                let best = cck55_candidates()
+                    .into_iter()
+                    .max_by(|a, b| {
+                        cck_correlate(&tx, &a.1)
+                            .abs()
+                            .partial_cmp(&cck_correlate(&tx, &b.1).abs())
+                            .unwrap()
+                    })
+                    .unwrap();
+                assert_eq!(best.0, (d2, d3));
+                let corr = cck_correlate(&tx, &best.1);
+                assert!((corr.arg() - phi1).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! GFSK modulation/demodulation engine (BLE 1 Mbps: BT = 0.5,
+//! modulation index h = 0.5 → ±250 kHz deviation).
+//!
+//! Modulation integrates a Gaussian-shaped frequency pulse into phase;
+//! demodulation uses the classic quadrature discriminator
+//! (`arg(x[n] · conj(x[n-1]))`) followed by per-bit integration — the
+//! structure of the CC2540/CC2650 radios the paper uses.
+
+use msc_dsp::{Complex64, Fir, IqBuf, SampleRate};
+
+/// GFSK engine configuration.
+#[derive(Clone, Debug)]
+pub struct GfskConfig {
+    /// Symbol (bit) rate, Hz. BLE 1M PHY: 1e6.
+    pub symbol_rate: f64,
+    /// Samples per symbol in the generated waveform.
+    pub sps: usize,
+    /// Bandwidth-time product of the Gaussian filter (BLE: 0.5).
+    pub bt: f64,
+    /// Modulation index `h = 2·f_dev / symbol_rate` (BLE: 0.5).
+    pub modulation_index: f64,
+}
+
+impl Default for GfskConfig {
+    fn default() -> Self {
+        GfskConfig { symbol_rate: 1e6, sps: 8, bt: 0.5, modulation_index: 0.5 }
+    }
+}
+
+impl GfskConfig {
+    /// The BLE 2M PHY: 2 Msym/s, same BT and modulation index
+    /// (±500 kHz deviation).
+    pub fn le_2m() -> Self {
+        GfskConfig { symbol_rate: 2e6, sps: 8, bt: 0.5, modulation_index: 0.5 }
+    }
+}
+
+impl GfskConfig {
+    /// The waveform sample rate.
+    pub fn sample_rate(&self) -> SampleRate {
+        SampleRate::hz(self.symbol_rate * self.sps as f64)
+    }
+
+    /// Peak frequency deviation in Hz (`h · Rs / 2`).
+    pub fn deviation_hz(&self) -> f64 {
+        self.modulation_index * self.symbol_rate / 2.0
+    }
+}
+
+/// GFSK modulator/demodulator.
+#[derive(Clone, Debug)]
+pub struct Gfsk {
+    config: GfskConfig,
+    pulse: Fir,
+}
+
+impl Gfsk {
+    /// Creates an engine for the given config.
+    pub fn new(config: GfskConfig) -> Self {
+        assert!(config.sps >= 2, "need at least 2 samples per symbol");
+        let pulse = Fir::gaussian(config.bt, config.sps, 3);
+        Gfsk { config, pulse }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GfskConfig {
+        &self.config
+    }
+
+    /// Modulates bits into a constant-envelope IQ waveform.
+    ///
+    /// Bit 1 → +deviation, bit 0 → −deviation, Gaussian-filtered, then
+    /// phase-integrated.
+    pub fn modulate(&self, bits: &[u8]) -> IqBuf {
+        let sps = self.config.sps;
+        // NRZ frequency samples.
+        let mut freq = Vec::with_capacity(bits.len() * sps);
+        for &b in bits {
+            let v = if b & 1 == 1 { 1.0 } else { -1.0 };
+            freq.extend(std::iter::repeat(v).take(sps));
+        }
+        // Gaussian shaping of the frequency pulse.
+        let shaped = self.pulse.filter_same_real(&freq);
+        // Phase integration: dφ = 2π·f_dev·v / fs.
+        let k = std::f64::consts::TAU * self.config.deviation_hz() / self.config.sample_rate().as_hz();
+        let mut phase = 0.0;
+        let samples = shaped
+            .iter()
+            .map(|&v| {
+                phase += k * v;
+                Complex64::cis(phase)
+            })
+            .collect();
+        IqBuf::new(samples, self.config.sample_rate())
+    }
+
+    /// Instantaneous-frequency estimate per sample (rad/sample), from the
+    /// quadrature discriminator. First sample is 0.
+    pub fn discriminate(&self, samples: &[Complex64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(samples.len());
+        out.push(0.0);
+        for w in samples.windows(2) {
+            out.push((w[1] * w[0].conj()).arg());
+        }
+        out
+    }
+
+    /// Demodulates bits from a waveform given the bit-aligned start
+    /// sample. Returns one bit per symbol plus the mean per-bit frequency
+    /// (rad/sample) for the overlay decoder's FSK comparisons.
+    pub fn demodulate(&self, samples: &[Complex64], start: usize, n_bits: usize) -> (Vec<u8>, Vec<f64>) {
+        let sps = self.config.sps;
+        let disc = self.discriminate(samples);
+        let mut bits = Vec::with_capacity(n_bits);
+        let mut freqs = Vec::with_capacity(n_bits);
+        for k in 0..n_bits {
+            let a = start + k * sps;
+            let b = (a + sps).min(disc.len());
+            if a >= disc.len() {
+                break;
+            }
+            // Integrate the middle half of the bit (avoids ISI at edges).
+            let q = sps / 4;
+            let lo = (a + q).min(b);
+            let hi = (b.saturating_sub(q)).max(lo + 1).min(disc.len());
+            let mean = disc[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            freqs.push(mean);
+            bits.push(u8::from(mean > 0.0));
+        }
+        (bits, freqs)
+    }
+
+    /// Finds the sample offset of a known bit pattern by correlating the
+    /// discriminator output against the pattern's NRZ waveform. Returns
+    /// the best offset and its normalized score.
+    pub fn find_pattern(&self, samples: &[Complex64], pattern: &[u8]) -> Option<(usize, f64)> {
+        let sps = self.config.sps;
+        let disc = self.discriminate(samples);
+        let template: Vec<f64> = pattern
+            .iter()
+            .flat_map(|&b| {
+                let v = if b & 1 == 1 { 1.0 } else { -1.0 };
+                std::iter::repeat(v).take(sps)
+            })
+            .collect();
+        if disc.len() < template.len() {
+            return None;
+        }
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for off in 0..=disc.len() - template.len() {
+            let score = msc_dsp::corr::normalized_corr(&disc[off..off + template.len()], &template);
+            if score > best.1 {
+                best = (off, score);
+            }
+        }
+        if best.1 > 0.5 {
+            Some(best)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_envelope() {
+        let g = Gfsk::new(GfskConfig::default());
+        let tx = g.modulate(&[1, 0, 1, 1, 0, 0, 1, 0]);
+        assert!((tx.papr() - 1.0).abs() < 1e-9, "GFSK must be constant envelope");
+    }
+
+    #[test]
+    fn round_trip_random_bits() {
+        let g = Gfsk::new(GfskConfig::default());
+        let mut rng = StdRng::seed_from_u64(41);
+        let bits = random_bits(&mut rng, 200);
+        let tx = g.modulate(&bits);
+        let (rx, _) = g.demodulate(tx.samples(), 0, bits.len());
+        assert_eq!(rx, bits);
+    }
+
+    #[test]
+    fn deviation_matches_config() {
+        // Alternating bits reach roughly ±ISI-reduced deviation; a run of
+        // 1s reaches full +250 kHz.
+        let g = Gfsk::new(GfskConfig::default());
+        let tx = g.modulate(&vec![1u8; 32]);
+        let disc = g.discriminate(tx.samples());
+        let mid = disc[100];
+        let expect = std::f64::consts::TAU * 250e3 / 8e6;
+        assert!((mid - expect).abs() < expect * 0.05, "dev {mid} want {expect}");
+    }
+
+    #[test]
+    fn pattern_search_finds_sync_word() {
+        // A lone 8-bit alternating preamble is not unique against random
+        // payload (real BLE receivers sync on preamble + access address),
+        // so search for a 32-bit sync pattern as the BLE layer does.
+        let g = Gfsk::new(GfskConfig::default());
+        let mut rng = StdRng::seed_from_u64(42);
+        let sync: Vec<u8> = crate::bits::bytes_to_bits_lsb(&[0xAA, 0xD6, 0xBE, 0x89]);
+        let mut bits = sync.clone();
+        bits.extend(random_bits(&mut rng, 64));
+        let tx = g.modulate(&bits);
+        let mut padded = vec![Complex64::ZERO; 37];
+        padded.extend_from_slice(tx.samples());
+        let (off, score) = g.find_pattern(&padded, &sync).expect("find");
+        // Gaussian group delay shifts the correlation peak slightly.
+        assert!((off as i64 - 37).unsigned_abs() <= 4, "offset {off}");
+        assert!(score > 0.8);
+    }
+
+    #[test]
+    fn frequency_shift_flips_bits() {
+        // The tag's Δf = 500 kHz shift turns bit 1 into bit 0 (paper
+        // §2.4.2 Bluetooth): +250 kHz + (−500 kHz) = −250 kHz.
+        let g = Gfsk::new(GfskConfig::default());
+        let bits = vec![1u8; 24];
+        let tx = g.modulate(&bits);
+        let shifted = tx.freq_shift(-500e3);
+        let (rx, _) = g.demodulate(shifted.samples(), 0, bits.len());
+        // Edge bits suffer from filter transients; interior must flip.
+        assert!(rx[4..20].iter().all(|&b| b == 0), "rx {rx:?}");
+    }
+}

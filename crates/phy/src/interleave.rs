@@ -1,0 +1,114 @@
+//! The 802.11a/g/n per-symbol block interleaver.
+//!
+//! Two permutations over one OFDM symbol's coded bits (`n_cbps`): the
+//! first spreads adjacent coded bits across nonadjacent subcarriers, the
+//! second alternates significance within a subcarrier's constellation
+//! bits. Defined in 802.11-2016 §17.3.5.7 with 16 columns.
+
+/// Interleaves one OFDM symbol worth of coded bits.
+///
+/// * `n_cbps` — coded bits per symbol (48 BPSK, 96 QPSK, 192 16-QAM for
+///   20 MHz, 48 data subcarriers).
+/// * `n_bpsc` — coded bits per subcarrier (1, 2, 4).
+pub fn interleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
+    assert_eq!(bits.len(), n_cbps, "interleaver input must be one symbol");
+    let s = (n_bpsc / 2).max(1);
+    let mut out = vec![0u8; n_cbps];
+    for k in 0..n_cbps {
+        // First permutation.
+        let i = (n_cbps / 16) * (k % 16) + k / 16;
+        // Second permutation.
+        let j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+        out[j] = bits[k];
+    }
+    out
+}
+
+/// Inverts [`interleave`].
+pub fn deinterleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
+    assert_eq!(bits.len(), n_cbps, "deinterleaver input must be one symbol");
+    let s = (n_bpsc / 2).max(1);
+    let mut out = vec![0u8; n_cbps];
+    for k in 0..n_cbps {
+        let i = (n_cbps / 16) * (k % 16) + k / 16;
+        let j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+        out[k] = bits[j];
+    }
+    out
+}
+
+/// Interleaves a multi-symbol stream symbol by symbol.
+pub fn interleave_stream(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
+    assert_eq!(bits.len() % n_cbps, 0, "stream must be whole symbols");
+    bits.chunks(n_cbps)
+        .flat_map(|sym| interleave(sym, n_cbps, n_bpsc))
+        .collect()
+}
+
+/// Deinterleaves a multi-symbol stream symbol by symbol.
+pub fn deinterleave_stream(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
+    assert_eq!(bits.len() % n_cbps, 0, "stream must be whole symbols");
+    bits.chunks(n_cbps)
+        .flat_map(|sym| deinterleave(sym, n_cbps, n_bpsc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn round_trip_all_rates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &(n_cbps, n_bpsc) in &[(48usize, 1usize), (96, 2), (192, 4)] {
+            let bits: Vec<u8> = (0..n_cbps).map(|_| rng.gen_range(0..=1) as u8).collect();
+            let inter = interleave(&bits, n_cbps, n_bpsc);
+            assert_eq!(deinterleave(&inter, n_cbps, n_bpsc), bits);
+            assert_ne!(inter, bits, "interleaver must permute");
+        }
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let n_cbps = 96;
+        // Feed a one-hot pattern for every position; each must land in a
+        // unique output slot.
+        let mut seen = vec![false; n_cbps];
+        for k in 0..n_cbps {
+            let mut bits = vec![0u8; n_cbps];
+            bits[k] = 1;
+            let out = interleave(&bits, n_cbps, 2);
+            let pos = out.iter().position(|&b| b == 1).unwrap();
+            assert!(!seen[pos], "collision at {pos}");
+            seen[pos] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn adjacent_bits_are_spread() {
+        // Adjacent coded bits must land at least a few positions apart —
+        // that's the interleaver's whole job (burst-error dispersal).
+        let n_cbps = 48;
+        let mut positions = Vec::new();
+        for k in 0..4 {
+            let mut bits = vec![0u8; n_cbps];
+            bits[k] = 1;
+            positions.push(interleave(&bits, n_cbps, 1).iter().position(|&b| b == 1).unwrap());
+        }
+        for w in positions.windows(2) {
+            let d = (w[0] as isize - w[1] as isize).unsigned_abs();
+            assert!(d >= 3, "adjacent coded bits only {d} apart");
+        }
+    }
+
+    #[test]
+    fn stream_variant_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bits: Vec<u8> = (0..48 * 5).map(|_| rng.gen_range(0..=1) as u8).collect();
+        let inter = interleave_stream(&bits, 48, 1);
+        assert_eq!(deinterleave_stream(&inter, 48, 1), bits);
+    }
+}

@@ -1,0 +1,31 @@
+//! # msc-phy — four 2.4 GHz PHYs built from scratch
+//!
+//! Modulators and commodity-receiver demodulators for the four excitation
+//! protocols the multiscatter tag identifies and rides on:
+//!
+//! * 802.11b — DSSS (Barker) DBPSK/DQPSK and CCK, long/short preamble
+//! * 802.11n — 20 MHz OFDM, BCC + interleaving, BPSK/QPSK/16-QAM
+//! * BLE — 1 Mbps GFSK (BT = 0.5, h = 0.5), advertising channel framing
+//! * ZigBee (802.15.4) — 2.4 GHz OQPSK with half-sine chips, 16×32-chip PN
+//!
+//! Shared coding-layer building blocks (CRCs, scramblers, convolutional
+//! code, interleaver, constellations) live in their own modules.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+
+pub use protocol::{DecodeError, Protocol};
+pub mod ble;
+pub mod conv;
+pub mod crc;
+pub mod interleave;
+pub mod scramble;
+pub mod dsss;
+pub mod gfsk;
+pub mod ofdm;
+pub mod protocol;
+pub mod symbols;
+pub mod wifi_b;
+pub mod zigbee;
+pub mod wifi_n;

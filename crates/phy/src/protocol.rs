@@ -1,0 +1,146 @@
+//! Protocol identities and shared framing metadata.
+
+use std::fmt;
+
+/// The four excitation protocols the multiscatter tag identifies
+/// (paper §2.2–2.3). Order matters nowhere here; the *matching* order is
+/// a property of the tag's [`ordered matcher`](https://docs.rs), not of
+/// this enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// IEEE 802.11b — DSSS/CCK WiFi.
+    WifiB,
+    /// IEEE 802.11n — OFDM WiFi (covers the a/g/n/ac/ax OFDM family).
+    WifiN,
+    /// Bluetooth Low Energy (1 Mbps GFSK). The paper uses BLE and
+    /// Bluetooth interchangeably.
+    Ble,
+    /// IEEE 802.15.4 / ZigBee (2.4 GHz OQPSK).
+    ZigBee,
+}
+
+impl Protocol {
+    /// All four protocols, in a stable display order.
+    pub const ALL: [Protocol; 4] =
+        [Protocol::WifiN, Protocol::WifiB, Protocol::Ble, Protocol::ZigBee];
+
+    /// Short display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::WifiB => "802.11b",
+            Protocol::WifiN => "802.11n",
+            Protocol::Ble => "BLE",
+            Protocol::ZigBee => "ZigBee",
+        }
+    }
+
+    /// Duration of the packet-detection field the paper's §2.2 table
+    /// matching keys on, in seconds:
+    /// 11b long preamble 144 µs, 11n legacy preamble 8 µs (L-STF),
+    /// BLE preamble 8 µs, ZigBee SHR preamble 128 µs.
+    pub fn detection_field_seconds(self) -> f64 {
+        match self {
+            Protocol::WifiB => 144e-6,
+            Protocol::WifiN => 8e-6,
+            Protocol::Ble => 8e-6,
+            Protocol::ZigBee => 128e-6,
+        }
+    }
+
+    /// Duration of the *extended* matching window (paper §2.3.2): 40 µs
+    /// for every protocol, enabled by the BLE access address and the
+    /// 802.11n HT-STF/HT-LTF fields.
+    pub fn extended_window_seconds(self) -> f64 {
+        40e-6
+    }
+
+    /// Occupied RF bandwidth in Hz (sets the baseband frequency the
+    /// rectifier must track: f_b = 20 MHz worst case, paper §2.2.1).
+    pub fn bandwidth_hz(self) -> f64 {
+        match self {
+            Protocol::WifiB => 22e6,
+            Protocol::WifiN => 20e6,
+            Protocol::Ble => 2e6,
+            Protocol::ZigBee => 2e6,
+        }
+    }
+
+    /// One modulation symbol's duration for overlay-modulation purposes
+    /// (paper §2.4.2): 1 µs 11b symbol, 4 µs OFDM symbol, 1 µs BLE bit,
+    /// 16 µs ZigBee symbol.
+    pub fn base_symbol_seconds(self) -> f64 {
+        match self {
+            Protocol::WifiB => 1e-6,
+            Protocol::WifiN => 4e-6,
+            Protocol::Ble => 1e-6,
+            Protocol::ZigBee => 16e-6,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of a PHY decode attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// No preamble / sync word found in the buffer.
+    SyncNotFound,
+    /// Header found but failed its integrity check.
+    HeaderInvalid,
+    /// The buffer ended before the indicated payload length.
+    Truncated,
+    /// The signal was too weak or malformed to begin demodulation.
+    SignalTooWeak,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::SyncNotFound => f.write_str("preamble/sync word not found"),
+            DecodeError::HeaderInvalid => f.write_str("header integrity check failed"),
+            DecodeError::Truncated => f.write_str("buffer ended before payload end"),
+            DecodeError::SignalTooWeak => f.write_str("signal too weak to demodulate"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Protocol::WifiB.label(), "802.11b");
+        assert_eq!(Protocol::Ble.to_string(), "BLE");
+    }
+
+    #[test]
+    fn detection_fields() {
+        // BLE preamble is the shortest (8 us) — this is what forces the
+        // common template window to 8 us at full rate (paper §2.2.2).
+        let min = Protocol::ALL
+            .iter()
+            .map(|p| p.detection_field_seconds())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min, 8e-6);
+        assert_eq!(Protocol::WifiB.detection_field_seconds(), 144e-6);
+    }
+
+    #[test]
+    fn extended_window_is_40us_for_all() {
+        for p in Protocol::ALL {
+            assert_eq!(p.extended_window_seconds(), 40e-6);
+        }
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::SyncNotFound.to_string().contains("sync"));
+    }
+}

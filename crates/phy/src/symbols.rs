@@ -1,0 +1,160 @@
+//! Constellation mapping: BPSK, QPSK, 16-QAM (Gray-coded, 802.11
+//! normalization) plus hard-decision demapping.
+
+use msc_dsp::Complex64;
+
+/// Modulation order for OFDM subcarriers / single-carrier symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Constellation {
+    /// 1 bit/symbol.
+    Bpsk,
+    /// 2 bits/symbol, Gray-coded.
+    Qpsk,
+    /// 4 bits/symbol, Gray-coded, normalized by 1/sqrt(10).
+    Qam16,
+}
+
+impl Constellation {
+    /// Bits carried per constellation point.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Constellation::Bpsk => 1,
+            Constellation::Qpsk => 2,
+            Constellation::Qam16 => 4,
+        }
+    }
+
+    /// Maps `bits_per_symbol` bits to a unit-average-power point.
+    pub fn map(self, bits: &[u8]) -> Complex64 {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "wrong bit count for {self:?}");
+        match self {
+            Constellation::Bpsk => {
+                if bits[0] & 1 == 1 {
+                    Complex64::new(1.0, 0.0)
+                } else {
+                    Complex64::new(-1.0, 0.0)
+                }
+            }
+            Constellation::Qpsk => {
+                let k = 1.0 / 2f64.sqrt();
+                let i = if bits[0] & 1 == 1 { k } else { -k };
+                let q = if bits[1] & 1 == 1 { k } else { -k };
+                Complex64::new(i, q)
+            }
+            Constellation::Qam16 => {
+                let k = 1.0 / 10f64.sqrt();
+                let axis = |b0: u8, b1: u8| -> f64 {
+                    // Gray mapping per 802.11: 00→-3, 01→-1, 11→+1, 10→+3.
+                    match (b0 & 1, b1 & 1) {
+                        (0, 0) => -3.0,
+                        (0, 1) => -1.0,
+                        (1, 1) => 1.0,
+                        (1, 0) => 3.0,
+                        _ => unreachable!(),
+                    }
+                };
+                Complex64::new(axis(bits[0], bits[1]) * k, axis(bits[2], bits[3]) * k)
+            }
+        }
+    }
+
+    /// Hard-decision demapping to `bits_per_symbol` bits.
+    pub fn demap(self, point: Complex64) -> Vec<u8> {
+        match self {
+            Constellation::Bpsk => vec![u8::from(point.re >= 0.0)],
+            Constellation::Qpsk => vec![u8::from(point.re >= 0.0), u8::from(point.im >= 0.0)],
+            Constellation::Qam16 => {
+                let k = 1.0 / 10f64.sqrt();
+                let axis = |v: f64| -> (u8, u8) {
+                    let t = v / k;
+                    if t < -2.0 {
+                        (0, 0)
+                    } else if t < 0.0 {
+                        (0, 1)
+                    } else if t < 2.0 {
+                        (1, 1)
+                    } else {
+                        (1, 0)
+                    }
+                };
+                let (b0, b1) = axis(point.re);
+                let (b2, b3) = axis(point.im);
+                vec![b0, b1, b2, b3]
+            }
+        }
+    }
+
+    /// Maps a whole bit stream to symbols. The length must be a multiple
+    /// of `bits_per_symbol`.
+    pub fn map_stream(self, bits: &[u8]) -> Vec<Complex64> {
+        let bps = self.bits_per_symbol();
+        assert_eq!(bits.len() % bps, 0, "bit stream not a multiple of {bps}");
+        bits.chunks(bps).map(|c| self.map(c)).collect()
+    }
+
+    /// Demaps a symbol stream to bits.
+    pub fn demap_stream(self, symbols: &[Complex64]) -> Vec<u8> {
+        symbols.iter().flat_map(|&s| self.demap(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn unit_average_power() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for c in [Constellation::Bpsk, Constellation::Qpsk, Constellation::Qam16] {
+            let bits: Vec<u8> = (0..c.bits_per_symbol() * 4096)
+                .map(|_| rng.gen_range(0..=1) as u8)
+                .collect();
+            let syms = c.map_stream(&bits);
+            let p: f64 = syms.iter().map(|s| s.norm_sqr()).sum::<f64>() / syms.len() as f64;
+            assert!((p - 1.0).abs() < 0.05, "{c:?} power {p}");
+        }
+    }
+
+    #[test]
+    fn map_demap_round_trip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for c in [Constellation::Bpsk, Constellation::Qpsk, Constellation::Qam16] {
+            let bits: Vec<u8> = (0..c.bits_per_symbol() * 256)
+                .map(|_| rng.gen_range(0..=1) as u8)
+                .collect();
+            let syms = c.map_stream(&bits);
+            assert_eq!(c.demap_stream(&syms), bits);
+        }
+    }
+
+    #[test]
+    fn gray_coding_neighbors_differ_by_one_bit() {
+        // Along the I axis of 16-QAM, adjacent levels differ in one bit.
+        let seq = [(0u8, 0u8), (0, 1), (1, 1), (1, 0)];
+        for w in seq.windows(2) {
+            let d = (w[0].0 ^ w[1].0) + (w[0].1 ^ w[1].1);
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn demap_survives_small_noise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let c = Constellation::Qam16;
+        let bits: Vec<u8> = (0..4 * 128).map(|_| rng.gen_range(0..=1) as u8).collect();
+        let syms: Vec<Complex64> = c
+            .map_stream(&bits)
+            .into_iter()
+            .map(|s| s + Complex64::new(rng.gen_range(-0.05..0.05), rng.gen_range(-0.05..0.05)))
+            .collect();
+        assert_eq!(c.demap_stream(&syms), bits);
+    }
+
+    #[test]
+    #[should_panic]
+    fn map_rejects_wrong_width() {
+        Constellation::Qpsk.map(&[1]);
+    }
+}

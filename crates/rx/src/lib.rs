@@ -1,0 +1,34 @@
+//! # msc-rx — single-commodity-radio overlay links
+//!
+//! The receiver half of the paper's deployability claim: for each
+//! protocol, a *link* pairs an overlay-carrier generator (the productive
+//! transmitter crafting κ-spread payloads) with a decoder that recovers
+//! **both** the productive data and the tag data from one received
+//! packet on one radio — no second receiver, no dependence on the
+//! original channel.
+
+#![warn(missing_docs)]
+
+pub mod link_ble;
+pub mod link_wifi_b;
+pub mod link_wifi_n;
+pub mod link_zigbee;
+pub mod metrics;
+
+pub use link_ble::BleOverlayLink;
+pub use link_wifi_b::WifiBOverlayLink;
+pub use link_wifi_n::WifiNOverlayLink;
+pub use link_zigbee::ZigBeeOverlayLink;
+pub use metrics::{BerCounter, ThroughputMeter};
+
+/// The outcome of overlay decoding one packet: productive data (bits, or
+/// 4-bit symbols for ZigBee) and tag bits, plus header integrity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverlayDecoded {
+    /// Recovered productive data.
+    pub productive: Vec<u8>,
+    /// Recovered tag bits.
+    pub tag: Vec<u8>,
+    /// Whether the frame's header check passed.
+    pub header_ok: bool,
+}

@@ -1,0 +1,140 @@
+//! Link metrics: BER, PER, and throughput accounting.
+
+/// Accumulates bit-error statistics over many packets.
+#[derive(Clone, Debug, Default)]
+pub struct BerCounter {
+    bits: u64,
+    errors: u64,
+    packets: u64,
+    lost_packets: u64,
+}
+
+impl BerCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decoded packet's bits against the transmitted truth.
+    pub fn record(&mut self, tx: &[u8], rx: &[u8]) {
+        let overlap = tx.len().min(rx.len());
+        let mut errors = tx.len().saturating_sub(overlap) as u64;
+        for i in 0..overlap {
+            if (tx[i] ^ rx[i]) & 1 == 1 {
+                errors += 1;
+            }
+        }
+        self.bits += tx.len() as u64;
+        self.errors += errors;
+        self.packets += 1;
+    }
+
+    /// Records a packet that never decoded (all bits counted as errors
+    /// for BER purposes, and as a packet loss for PER purposes).
+    pub fn record_lost(&mut self, tx_bits: usize) {
+        self.bits += tx_bits as u64;
+        self.errors += tx_bits as u64;
+        self.packets += 1;
+        self.lost_packets += 1;
+    }
+
+    /// Bit error rate so far (0 when nothing recorded).
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Packet loss rate.
+    pub fn per(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.lost_packets as f64 / self.packets as f64
+        }
+    }
+
+    /// Total bits compared.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Total packets seen.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+/// Computes goodput in bits/s from correctly delivered bits over a span.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputMeter {
+    good_bits: u64,
+    span_s: f64,
+}
+
+impl ThroughputMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `bits` successfully delivered bits.
+    pub fn add_bits(&mut self, bits: usize) {
+        self.good_bits += bits as u64;
+    }
+
+    /// Extends the measurement span.
+    pub fn add_time(&mut self, seconds: f64) {
+        self.span_s += seconds;
+    }
+
+    /// Goodput in bits/s (0 for an empty span).
+    pub fn bps(&self) -> f64 {
+        if self.span_s <= 0.0 {
+            0.0
+        } else {
+            self.good_bits as f64 / self.span_s
+        }
+    }
+
+    /// Goodput in kbit/s.
+    pub fn kbps(&self) -> f64 {
+        self.bps() / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_counts_errors_and_truncation() {
+        let mut c = BerCounter::new();
+        c.record(&[1, 1, 0, 0], &[1, 0, 0]); // 1 flip + 1 missing
+        assert_eq!(c.bits(), 4);
+        assert!((c.ber() - 0.5).abs() < 1e-12);
+        assert_eq!(c.per(), 0.0);
+    }
+
+    #[test]
+    fn lost_packets_count_fully() {
+        let mut c = BerCounter::new();
+        c.record(&[0; 10], &[0; 10]);
+        c.record_lost(10);
+        assert!((c.ber() - 0.5).abs() < 1e-12);
+        assert!((c.per() - 0.5).abs() < 1e-12);
+        assert_eq!(c.packets(), 2);
+    }
+
+    #[test]
+    fn throughput_meter() {
+        let mut t = ThroughputMeter::new();
+        t.add_bits(1000);
+        t.add_time(0.5);
+        assert!((t.bps() - 2000.0).abs() < 1e-9);
+        assert!((t.kbps() - 2.0).abs() < 1e-12);
+        assert_eq!(ThroughputMeter::new().bps(), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper-reproduction harness: regenerates every table and figure of
+//! the evaluation.
+//!
+//! ```text
+//! cargo run -p msc-sim --release --bin paper -- <experiment> [n] [seed]
+//! cargo run -p msc-sim --release --bin paper -- all
+//! cargo run -p msc-sim --release --bin paper -- all --full   # larger Monte Carlo
+//! ```
+
+use msc_sim::experiments as exp;
+use msc_sim::report::Report;
+
+type Runner = fn(usize, u64) -> Report;
+
+const EXPERIMENTS: &[(&str, &str, Runner)] = &[
+    ("fig4", "rectifier: clamp vs basic, ours vs WISP", exp::fig04::run),
+    ("fig5", "identification accuracy vs (L_p, L_m) at 20 Msps", exp::fig05::run),
+    ("fig6", "ordered-matching chain + score separation", exp::fig06::run),
+    ("fig7", "blind vs ordered matching at 10 Msps quantized", exp::fig07::run),
+    ("fig8", "low-rate identification + 40 µs window extension", exp::fig08::run),
+    ("fig9", "baseline occlusion BER + modulation offsets", exp::fig09::run),
+    ("tab1", "system taxonomy, demonstrated by execution", exp::tab1::run),
+    ("tab2", "FPGA resource comparison", exp::tables::tab2),
+    ("tab3", "prototype power budget", exp::tables::tab3),
+    ("tab4", "tag-data exchange times from harvested energy", exp::tables::tab4),
+    ("tab5", "identification power efficiency", exp::tables::tab5),
+    ("tab6", "overlay modes", exp::tables::tab6),
+    ("fig12", "throughput tradeoffs across modes", exp::fig12::run),
+    ("fig13", "LoS RSSI/BER/throughput vs distance", exp::fig13::run),
+    ("fig14", "NLoS RSSI/BER/throughput vs distance", exp::fig14::run),
+    ("fig15", "occluded original channel: multiscatter vs baselines", exp::fig15::run),
+    ("fig16", "colliding excitations (time & frequency)", exp::fig16::run),
+    ("fig17", "tag BER vs reference-symbol modulation", exp::fig17::run),
+    ("fig18", "excitation diversity", exp::fig18::run),
+    ("fig18-dyn", "uninterrupted backscatter on a packet timeline", exp::fig18::run_dynamic),
+    ("ext-fec", "future work: FEC tag coding vs repetition", exp::extensions::ext_fec),
+    ("ext-filter", "future work: tag band filter vs collisions", exp::extensions::ext_filter),
+    ("ext-wakeup", "future work: wake-up-receiver power gating", exp::extensions::ext_wakeup),
+    ("ext-multitag", "extension: two tags TDM-share one carrier", exp::extensions::ext_multitag),
+    ("abl-bits", "ablation: quantization width vs accuracy/cost", exp::ablations::abl_bits),
+    ("abl-gamma", "ablation: ZigBee tag spreading vs SNR", exp::ablations::abl_gamma),
+    ("abl-slope", "ablation: FM-to-AM front-end slope", exp::ablations::abl_slope),
+    ("abl-lag", "ablation: correlator lag-search radius", exp::ablations::abl_lag),
+    ("abl-cfo", "ablation: CFO tolerance per protocol", exp::ablations::abl_cfo),
+    ("tab4-dyn", "event-driven energy lifecycle (dynamic Table 4)", exp::energy_dyn::run),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: paper <experiment|all|list> [n] [seed] [--full]");
+    eprintln!("experiments:");
+    for (id, desc, _) in EXPERIMENTS {
+        eprintln!("  {id:6} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let which = positional.first().map(|s| s.as_str()).unwrap_or("");
+    let n: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if full { 60 } else { 12 });
+    let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    match which {
+        "list" => usage(),
+        "all" => {
+            for (id, _, run) in EXPERIMENTS {
+                let t0 = std::time::Instant::now();
+                let report = run(n, seed);
+                println!("{}", report.render());
+                println!("  [{id} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+        }
+        other => {
+            let Some((_, _, run)) = EXPERIMENTS.iter().find(|(id, _, _)| *id == other) else {
+                eprintln!("unknown experiment: {other}\n");
+                usage();
+            };
+            println!("{}", run(n, seed).render());
+        }
+    }
+}

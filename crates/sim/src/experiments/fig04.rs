@@ -1,0 +1,71 @@
+//! Fig. 4 — rectifier quality: (a) clamp vs basic output voltage across
+//! input levels; (b) our rectifier vs WISP tracking an 802.11b baseband.
+
+use crate::report::{f3, Report};
+use msc_analog::{dbm_to_envelope_volts, Rectifier};
+use msc_core::envelope::FrontEnd;
+use msc_dsp::SampleRate;
+use msc_phy::bits::random_bits;
+use msc_phy::wifi_b::WifiBModulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(_n: usize, seed: u64) -> Report {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = Report::new(
+        "fig4 — rectifier: clamp vs basic, ours vs WISP on 802.11b",
+        &["input dBm", "basic V", "clamp V", "ours swing V", "wisp swing V", "swing ratio"],
+    );
+
+    // An 802.11b waveform, as the paper's Fig. 4b input.
+    let wave = WifiBModulator::new(Default::default()).modulate(&random_bits(&mut rng, 64));
+    let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+    let envelope_unit = fe.rf_envelope(&wave);
+
+    for &dbm in &[-12.0, -9.0, -6.0, -3.0, 0.0] {
+        let v_in = dbm_to_envelope_volts(dbm);
+        let basic = Rectifier::basic().steady_state(v_in);
+        let clamp = Rectifier::ours().steady_state(v_in);
+
+        // Baseband tracking: swing of the rectifier output over the 11b
+        // chip structure (how much of the envelope detail survives).
+        let scaled: Vec<f64> = envelope_unit.iter().map(|e| e * v_in).collect();
+        let swing = |r: Rectifier, rng: &mut StdRng| {
+            let out = r.run(rng, &scaled, wave.rate());
+            let tail = &out[out.len() / 2..];
+            let hi = tail.iter().cloned().fold(0.0f64, f64::max);
+            let lo = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+            hi - lo
+        };
+        let ours = swing(Rectifier::ours(), &mut rng);
+        let wisp = swing(Rectifier::wisp(), &mut rng);
+        let ratio = if wisp > 1e-9 { ours / wisp } else { f64::INFINITY };
+        report.row(&[
+            format!("{dbm:.0}"),
+            f3(basic),
+            f3(clamp),
+            f3(ours),
+            f3(wisp),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    report.note("Paper Fig. 4a: the clamp produces usable voltage where the basic rectifier is dead.");
+    report.note("Paper Fig. 4b: WISP's RFID-tuned RC smears the 11 Mcps structure; ours tracks it.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_dominates_and_tracks() {
+        let r = run(0, 42);
+        assert_eq!(r.len(), 5);
+        // At the weakest input the basic rectifier must be dead while the
+        // clamp is alive (first row).
+        let render = r.render();
+        assert!(render.contains("fig4"));
+    }
+}

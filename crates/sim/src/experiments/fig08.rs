@@ -1,0 +1,89 @@
+//! Fig. 8 — low-rate identification and the 40 µs window extension:
+//! (a) 2.5 Msps with the 8 µs window collapses (paper: 0.485 average);
+//! (b) extending to 40 µs recovers it (0.93);
+//! (c) 1 Msps stays unusable (~0.5).
+
+use crate::idtraces::{front_end, generate_traces_hard};
+use crate::report::{pct, Report};
+use msc_core::search::{collect_scores, default_grid, per_protocol_accuracy, search_ordered_rule};
+use msc_core::{MatchMode, Matcher, TemplateBank, TemplateConfig};
+use msc_dsp::SampleRate;
+use msc_phy::protocol::Protocol;
+
+/// Runs with `n` packets per protocol (half train / half test).
+pub fn run(n: usize, seed: u64) -> Report {
+    let n = n.max(16);
+    let mut report = Report::new(
+        "fig8 — sampling rate vs window extension (±1 quantized, ordered matching)",
+        &["rate", "window", "avg acc", "802.11n", "802.11b", "BLE", "ZigBee"],
+    );
+
+    for (rate, label, extended) in [
+        (SampleRate::ADC_LOW, "2.5 Msps", false),
+        (SampleRate::ADC_LOW, "2.5 Msps", true),
+        (SampleRate::ADC_FLOOR, "1 Msps", true),
+    ] {
+        let fe = front_end(rate);
+        let cfg = if extended {
+            TemplateConfig::extended(rate)
+        } else {
+            TemplateConfig::standard(rate)
+        };
+        let bank = TemplateBank::build(&fe, cfg);
+        let matcher = Matcher::new(bank, MatchMode::Quantized);
+        let tuples = |seed: u64| -> Vec<(Protocol, Vec<f64>, isize)> {
+            generate_traces_hard(&fe, n, seed)
+                .into_iter()
+                .map(|t| (t.truth, t.acquired, t.jitter))
+                .collect()
+        };
+        let train = collect_scores(&matcher, &tuples(seed));
+        let test = collect_scores(&matcher, &tuples(seed ^ 0xa7a7));
+        let searched = search_ordered_rule(&train, &default_grid());
+        let per = per_protocol_accuracy(&searched.rule, &test);
+        let avg = per.iter().sum::<f64>() / 4.0;
+        report.row(&[
+            label.into(),
+            if extended { "40 µs".into() } else { "8 µs".into() },
+            pct(avg),
+            pct(per[0]),
+            pct(per[1]),
+            pct(per[2]),
+            pct(per[3]),
+        ]);
+    }
+    report.note("Paper: 2.5 Msps short window 0.485 → extended 0.93; 1 Msps ≈ 0.5.");
+    report.note("Our short-window accuracy exceeds the paper's because the searched thresholds + sliding correlator recover more than their fixed pipeline; the extension gain direction is preserved.");
+    report.note("Extension is enabled by the BLE access address and 11n HT-STF/HT-LTF (§2.3.2).");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_rescues_low_rate() {
+        let r = run(16, 42);
+        let rendered = r.render();
+        let accs: Vec<f64> = rendered
+            .lines()
+            .filter(|l| l.contains("Msps") && !l.trim_start().starts_with('*'))
+            .map(|l| {
+                l.split_whitespace()
+                    .find(|tok| tok.ends_with('%'))
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(accs.len(), 3);
+        let (short, extended) = (accs[0], accs[1]);
+        assert!(
+            extended > short + 5.0,
+            "40 µs window must improve 2.5 Msps: {short}% → {extended}%"
+        );
+        assert!(extended > 85.0, "extended accuracy {extended}%");
+    }
+}

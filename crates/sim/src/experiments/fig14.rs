@@ -1,0 +1,38 @@
+//! Fig. 14 — NLoS counterpart of Fig. 13. Paper: maximal ranges shrink
+//! to 22 m (WiFi), 18 m (ZigBee), 16 m (BLE) behind the office wall.
+
+use crate::report::Report;
+
+/// Runs the NLoS deployment sweep.
+pub fn run(n: usize, seed: u64) -> Report {
+    super::fig13::run_deployment(n, seed, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nlos_shrinks_ranges() {
+        let los = super::super::fig13::run(6, 42).render();
+        let nlos = run(6, 42).render();
+        let range_of = |rendered: &str, label: &str| -> f64 {
+            rendered
+                .lines()
+                .find(|l| l.contains(&format!("{label} maximal")))
+                .unwrap()
+                .split('≈')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .trim_end_matches(" m")
+                .parse()
+                .unwrap()
+        };
+        for label in ["802.11n", "BLE", "ZigBee"] {
+            let l = range_of(&los, label);
+            let nl = range_of(&nlos, label);
+            assert!(nl <= l, "{label}: NLoS {nl} must not exceed LoS {l}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! One runner per table/figure of the paper's evaluation. Each module
+//! exposes `run(n, seed) -> Report`; the `paper` binary dispatches here.
+
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod ablations;
+pub mod energy_dyn;
+pub mod extensions;
+pub mod fig18;
+pub mod tab1;
+pub mod tables;

@@ -1,0 +1,211 @@
+//! Tables 2–6: FPGA resources, power budget, energy harvesting, and the
+//! κ mode table. These are model-driven (no Monte Carlo) and reproduce
+//! the paper's arithmetic exactly where the paper states it.
+
+use crate::report::{f1, Report};
+use msc_analog::{EnergyBuffer, Light, PowerBudget, SolarHarvester};
+use msc_core::overlay::{gamma_for, params_for, Mode};
+use msc_core::resources::{Arithmetic, MatcherCost};
+use msc_dsp::SampleRate;
+use msc_phy::protocol::Protocol;
+
+/// Table 2 — FPGA implementations of 4-protocol matching.
+pub fn tab2(_n: usize, _seed: u64) -> Report {
+    let mut r = Report::new(
+        "tab2 — FPGA resource comparison (template size 120, 9-bit samples)",
+        &["implementation", "multipliers", "adders", "D-flip-flops"],
+    );
+    for p in Protocol::ALL {
+        let one = MatcherCost { template_size: 120, protocols: 1, arithmetic: Arithmetic::FullPrecision };
+        r.row(&[
+            p.label().into(),
+            one.multipliers().to_string(),
+            one.adders().to_string(),
+            format!("{}", one.dffs()),
+        ]);
+    }
+    let naive = MatcherCost::table2(Arithmetic::FullPrecision);
+    r.row(&[
+        "Total (Naive Impl.)".into(),
+        naive.multipliers().to_string(),
+        naive.adders().to_string(),
+        format!("{}", naive.dffs()),
+    ]);
+    let nano = MatcherCost::table2(Arithmetic::Quantized);
+    r.row(&[
+        "Nano FPGA Impl.".into(),
+        nano.multipliers().to_string(),
+        nano.adders().to_string(),
+        format!("{}", nano.dffs()),
+    ]);
+    r.note(format!(
+        "AGLN250 has 6,144 DFFs: naive {}✗, quantized {}✓ (paper: 133,364 vs 2,860).",
+        if naive.fits_agln250() { "fits" } else { "does not fit" },
+        if nano.fits_agln250() { "fits" } else { "does not fit" },
+    ));
+    r
+}
+
+/// Table 3 — power consumption of the COTS prototype.
+pub fn tab3(_n: usize, _seed: u64) -> Report {
+    let mut r = Report::new(
+        "tab3 — prototype power budget (peak, ADC at 20 Msps)",
+        &["module", "device", "power mW"],
+    );
+    let b = PowerBudget::prototype(SampleRate::ADC_FULL);
+    for item in b.items() {
+        r.row(&[item.module.into(), item.device.into(), f1(item.mw)]);
+    }
+    r.row(&["Total".into(), "".into(), f1(b.total_mw())]);
+    r.note("Paper Table 3: 279.5 mW total (262.5 pkt-det + 1.1 modulation + 15.9 clock).");
+    r.note(format!(
+        "IC-baseband projection (Libero): {} mW; at 2.5 Msps the ADC drops to {:.1} mW.",
+        PowerBudget::ic_baseband_mw(),
+        PowerBudget::prototype(SampleRate::ADC_LOW).module_mw("Pkt det.") - 2.5,
+    ));
+    r
+}
+
+/// Table 4 — average tag-data exchange times under different lighting.
+pub fn tab4(_n: usize, _seed: u64) -> Report {
+    let mut r = Report::new(
+        "tab4 — tag-data exchange times from harvested energy",
+        &["excitation", "pkts per round", "indoor avg exchange", "outdoor avg exchange"],
+    );
+    let h = SolarHarvester::mp3_37();
+    let buf = EnergyBuffer::paper();
+    let load_w = 279.5e-3;
+    let runtime = buf.runtime_s(load_w); // ≈ 0.18 s
+    let t_indoor = buf.recharge_s(&h, Light::paper_indoor());
+    let t_outdoor = buf.recharge_s(&h, Light::paper_outdoor());
+
+    // Excitation rates from the paper: 2000/2000/70/20 pkts/s.
+    for (p, rate) in [
+        (Protocol::WifiN, 2000.0),
+        (Protocol::WifiB, 2000.0),
+        (Protocol::Ble, 70.0),
+        (Protocol::ZigBee, 20.0),
+    ] {
+        let pkts_per_round = rate * runtime;
+        let fmt = |t: f64| {
+            if t >= 1.0 {
+                format!("{t:.1}s")
+            } else {
+                format!("{:.1}ms", t * 1e3)
+            }
+        };
+        // Average time per exchanged packet = recharge time / packets.
+        r.row(&[
+            p.label().into(),
+            format!("{pkts_per_round:.1}"),
+            fmt(t_indoor / pkts_per_round),
+            fmt(t_outdoor / pkts_per_round),
+        ]);
+    }
+    r.note(format!(
+        "Round: {runtime:.2} s of operation per {:.0} mJ; recharge {t_indoor:.1} s indoor (500 lux) / {t_outdoor:.2} s outdoor (1.04e5 lux).",
+        buf.usable_energy_j() * 1e3
+    ));
+    r.note("Paper Table 4: 360/360/12.6/3.6 pkts; indoor 0.6s/0.6s/17.2s/60.1s; outdooor 2.2ms/2.2ms/61.9ms/21.7ms.");
+    r
+}
+
+/// Table 5 — identification power efficiency on an Artix-7.
+pub fn tab5(_n: usize, _seed: u64) -> Report {
+    let mut r = Report::new(
+        "tab5 — protocol-identification power vs implementation",
+        &["setup", "power mW", "relative", "LUTs"],
+    );
+    let rows: [(&str, MatcherCost, f64); 3] = [
+        (
+            "20 MS/s, no ±1 quant.",
+            MatcherCost::table2(Arithmetic::FullPrecision),
+            20e6,
+        ),
+        ("20 MS/s, ±1 quant.", MatcherCost::table2(Arithmetic::Quantized), 20e6),
+        (
+            "2.5 MS/s, ±1 quant.",
+            MatcherCost { template_size: 75, protocols: 4, arithmetic: Arithmetic::Quantized },
+            2.5e6,
+        ),
+    ];
+    let base = rows[0].1.power_mw(rows[0].2);
+    for (label, cost, rate) in rows {
+        let p = cost.power_mw(rate);
+        r.row(&[
+            label.into(),
+            f1(p),
+            format!("{:.2}%", p / base * 100.0),
+            format!("{:.0}", cost.luts()),
+        ]);
+    }
+    r.note("Paper Table 5: 564 mW/34751 LUT → 12 mW/1574 → 2 mW/1070 (282× total reduction).");
+    r
+}
+
+/// Table 6 — the κ modes per protocol.
+pub fn tab6(_n: usize, _seed: u64) -> Report {
+    let mut r = Report::new(
+        "tab6 — overlay modes (κ per protocol; spreading γ fixed per protocol)",
+        &["protocol", "γ", "mode 1 κ", "mode 2 κ", "mode 3 κ"],
+    );
+    for p in [Protocol::WifiB, Protocol::WifiN, Protocol::Ble, Protocol::ZigBee] {
+        let g = gamma_for(p);
+        r.row(&[
+            p.label().into(),
+            g.to_string(),
+            params_for(p, Mode::Mode1).kappa.to_string(),
+            params_for(p, Mode::Mode2).kappa.to_string(),
+            format!("{g}·n"),
+        ]);
+    }
+    r.note("Matches paper Table 6: 11b/BLE γ=4 (κ=8/16/4n), 11n/ZigBee γ=2 (κ=4/8/2n).");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab2_reproduces_paper_totals() {
+        let r = tab2(0, 0);
+        let s = r.render();
+        assert!(s.contains("133364"));
+        assert!(s.contains("2860"));
+        assert!(s.contains("480"));
+        assert!(s.contains("476"));
+    }
+
+    #[test]
+    fn tab3_total() {
+        let s = tab3(0, 0).render();
+        assert!(s.contains("279.5"));
+        assert!(s.contains("260.0"));
+    }
+
+    #[test]
+    fn tab4_matches_paper_pkt_counts() {
+        let s = tab4(0, 0).render();
+        // 2000 pkts/s × 0.18 s ≈ 360 packets (paper's number).
+        assert!(s.contains("359") || s.contains("360"), "{s}");
+        // BLE ≈ 12.6 packets per round.
+        assert!(s.contains("12.6"), "{s}");
+    }
+
+    #[test]
+    fn tab5_reproduces_rows() {
+        let s = tab5(0, 0).render();
+        assert!(s.contains("564") || s.contains("563") || s.contains("565"), "{s}");
+        assert!(s.contains("1574"), "{s}");
+        assert!(s.contains("1070"), "{s}");
+    }
+
+    #[test]
+    fn tab6_kappas() {
+        let s = tab6(0, 0).render();
+        assert!(s.contains("16"));
+        assert!(s.contains("4·n"));
+        assert!(s.contains("2·n"));
+    }
+}

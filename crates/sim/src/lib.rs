@@ -1,0 +1,23 @@
+//! # msc-sim — end-to-end simulation engine and experiment runners
+//!
+//! Wires the substrates together (PHYs → channel → tag → receivers) and
+//! hosts one runner per table/figure of the paper's evaluation. The
+//! `paper` binary dispatches to them:
+//!
+//! ```text
+//! cargo run -p msc-sim --release --bin paper -- fig13
+//! cargo run -p msc-sim --release --bin paper -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod experiments;
+pub mod idtraces;
+pub mod pipeline;
+pub mod report;
+pub mod traffic;
+pub mod throughput;
+
+pub use pipeline::{AnyLink, Geometry, PacketOutcome};
+pub use report::Report;

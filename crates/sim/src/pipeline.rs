@@ -1,0 +1,394 @@
+//! The end-to-end packet pipeline: overlay carrier → downlink → tag →
+//! uplink → single commodity receiver, with the link budget turning
+//! geometry into SNR.
+
+use msc_channel::awgn::add_noise;
+use msc_channel::{Fading, LinkBudget};
+use msc_core::overlay::{params_for, Mode};
+use msc_core::tag::payload_start_seconds;
+use msc_core::TagOverlayModulator;
+use msc_dsp::units::db_to_lin;
+use msc_dsp::IqBuf;
+use msc_phy::protocol::Protocol;
+use msc_rx::{BleOverlayLink, OverlayDecoded, WifiBOverlayLink, WifiNOverlayLink, ZigBeeOverlayLink};
+use rand::Rng;
+
+/// Excitation transmit power, dBm. All excitations run at 30 dBm EIRP:
+/// the paper amplifies its carriers (§2.2.1 states 30 dBm explicitly for
+/// WiFi), and the tag's 0.8 m downlink *requires* roughly this level —
+/// at a commodity radio's +4 dBm the rectifier would see ~−29 dBm,
+/// far below the −13 dBm tag sensitivity, and identification could
+/// never work.
+pub fn tx_power_dbm(_p: Protocol) -> f64 {
+    30.0
+}
+
+/// Per-protocol receiver implementation margin, dB — the gap between our
+/// idealized software demodulators and the commodity ICs of the paper's
+/// testbed (CFO/drift over long narrowband packets, AGC and quantization
+/// losses, tag switching harmonics in-channel). Calibrated so the LoS
+/// maximal ranges land at the paper's Fig. 13a values (28 m WiFi,
+/// 22 m ZigBee, 20 m BLE); EXPERIMENTS.md documents the calibration.
+pub fn rx_impl_margin_db(p: Protocol) -> f64 {
+    match p {
+        Protocol::WifiN => 1.0,
+        Protocol::WifiB => 8.0,
+        Protocol::ZigBee => 15.5,
+        Protocol::Ble => 14.0,
+    }
+}
+
+/// A geometric deployment for one measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometry {
+    /// Excitation source → tag distance (paper: 0.8 m).
+    pub d_tx_tag: f64,
+    /// Tag → receiver distance (the swept axis of Figs. 13/14).
+    pub d_tag_rx: f64,
+    /// Link-budget parameters (deployment, occlusion, gains).
+    pub budget: LinkBudget,
+    /// Small-scale fading on the uplink.
+    pub fading: Fading,
+}
+
+impl Geometry {
+    /// The paper's LoS deployment at a given receiver distance.
+    pub fn los(d_tag_rx: f64) -> Self {
+        Geometry {
+            d_tx_tag: 0.8,
+            d_tag_rx,
+            budget: LinkBudget::paper_los(),
+            fading: Fading::los(),
+        }
+    }
+
+    /// The paper's NLoS deployment.
+    pub fn nlos(d_tag_rx: f64) -> Self {
+        Geometry {
+            d_tx_tag: 0.8,
+            d_tag_rx,
+            budget: LinkBudget::paper_nlos(),
+            fading: Fading::nlos(),
+        }
+    }
+
+    /// Effective uplink SNR for a protocol (its TX power, bandwidth, and
+    /// receiver implementation margin).
+    pub fn uplink_snr_db(&self, p: Protocol) -> f64 {
+        let mut b = self.budget;
+        b.tx_power_dbm = tx_power_dbm(p);
+        b.backscatter_snr_db(self.d_tx_tag, self.d_tag_rx, p.bandwidth_hz())
+            - rx_impl_margin_db(p)
+    }
+
+    /// Backscattered RSSI at the receiver, dBm.
+    pub fn rssi_dbm(&self, p: Protocol) -> f64 {
+        let mut b = self.budget;
+        b.tx_power_dbm = tx_power_dbm(p);
+        b.backscattered_rx_dbm(self.d_tx_tag, self.d_tag_rx)
+    }
+
+    /// Incident power at the tag, dBm (identification operating point).
+    pub fn incident_dbm(&self, p: Protocol) -> f64 {
+        let mut b = self.budget;
+        b.tx_power_dbm = tx_power_dbm(p);
+        b.incident_at_tag_dbm(self.d_tx_tag)
+    }
+}
+
+/// Channel impairments applied on the uplink.
+#[derive(Clone, Copy, Debug)]
+pub struct Impairments {
+    /// Target SNR in dB.
+    pub snr_db: f64,
+    /// Small-scale fading.
+    pub fading: Fading,
+    /// Carrier frequency offset between the excitation source and the
+    /// receiver, Hz (crystal mismatch; ±20 ppm at 2.44 GHz ≈ ±48.8 kHz).
+    pub cfo_hz: f64,
+}
+
+impl Impairments {
+    /// Noise + fading only.
+    pub fn snr(snr_db: f64, fading: Fading) -> Self {
+        Impairments { snr_db, fading, cfo_hz: 0.0 }
+    }
+
+    /// Adds a carrier frequency offset.
+    pub fn with_cfo(mut self, cfo_hz: f64) -> Self {
+        self.cfo_hz = cfo_hz;
+        self
+    }
+}
+
+/// Applies the uplink channel: unit-power normalization, fading gain,
+/// then AWGN at the target SNR.
+pub fn apply_uplink<R: Rng>(rng: &mut R, wave: &IqBuf, snr_db: f64, fading: Fading) -> IqBuf {
+    apply_uplink_impaired(rng, wave, Impairments::snr(snr_db, fading))
+}
+
+/// Applies the uplink channel with the full impairment set.
+pub fn apply_uplink_impaired<R: Rng>(rng: &mut R, wave: &IqBuf, imp: Impairments) -> IqBuf {
+    let p = wave.mean_power();
+    let mut out = wave.clone();
+    if p > 0.0 {
+        out.scale(1.0 / p.sqrt());
+    }
+    if imp.cfo_hz != 0.0 {
+        out = out.freq_shift(imp.cfo_hz);
+    }
+    let h = imp.fading.sample(rng);
+    for s in out.samples_mut() {
+        *s = *s * h;
+    }
+    // Signal mean power |h|^2; noise set against the *average* signal
+    // power so fading dips genuinely hurt.
+    add_noise(rng, &mut out, 1.0 / db_to_lin(imp.snr_db));
+    out
+}
+
+/// One protocol's overlay link endpoints, type-erased for the runner.
+pub enum AnyLink {
+    /// 802.11b link.
+    WifiB(WifiBOverlayLink),
+    /// 802.11n link.
+    WifiN(WifiNOverlayLink),
+    /// BLE link.
+    Ble(BleOverlayLink),
+    /// ZigBee link.
+    ZigBee(ZigBeeOverlayLink),
+}
+
+impl AnyLink {
+    /// Builds the link for a protocol/mode.
+    pub fn new(p: Protocol, mode: Mode) -> Self {
+        let params = params_for(p, mode);
+        match p {
+            Protocol::WifiB => AnyLink::WifiB(WifiBOverlayLink::new(params)),
+            Protocol::WifiN => AnyLink::WifiN(WifiNOverlayLink::new(params)),
+            Protocol::Ble => AnyLink::Ble(BleOverlayLink::new(params)),
+            Protocol::ZigBee => AnyLink::ZigBee(ZigBeeOverlayLink::new(params)),
+        }
+    }
+
+    /// The protocol this link runs.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            AnyLink::WifiB(_) => Protocol::WifiB,
+            AnyLink::WifiN(_) => Protocol::WifiN,
+            AnyLink::Ble(_) => Protocol::Ble,
+            AnyLink::ZigBee(_) => Protocol::ZigBee,
+        }
+    }
+
+    /// Generates an overlay carrier for `n_productive` random
+    /// productive units (bits; 4-bit symbols for ZigBee).
+    pub fn make_carrier<R: Rng>(&self, rng: &mut R, n_productive: usize) -> (Vec<u8>, IqBuf) {
+        match self {
+            AnyLink::WifiB(l) => {
+                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..=1)).collect();
+                let c = l.make_carrier(&p);
+                (p, c)
+            }
+            AnyLink::WifiN(l) => {
+                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..=1)).collect();
+                let c = l.make_carrier(&p);
+                (p, c)
+            }
+            AnyLink::Ble(l) => {
+                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..=1)).collect();
+                let c = l.make_carrier(&p);
+                (p, c)
+            }
+            AnyLink::ZigBee(l) => {
+                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..16)).collect();
+                let c = l.make_carrier(&p);
+                (p, c)
+            }
+        }
+    }
+
+    /// Tag capacity for `n_productive` units.
+    pub fn tag_capacity(&self, n_productive: usize) -> usize {
+        match self {
+            AnyLink::WifiB(l) => l.tag_capacity(n_productive),
+            AnyLink::WifiN(l) => l.tag_capacity(n_productive),
+            AnyLink::Ble(l) => l.tag_capacity(n_productive),
+            AnyLink::ZigBee(l) => l.tag_capacity(n_productive),
+        }
+    }
+
+    /// Decodes a received waveform.
+    pub fn decode(
+        &self,
+        rx: &IqBuf,
+        n_productive: usize,
+    ) -> Result<OverlayDecoded, msc_phy::protocol::DecodeError> {
+        match self {
+            AnyLink::WifiB(l) => l.decode(rx),
+            AnyLink::WifiN(l) => l.decode(rx),
+            AnyLink::Ble(l) => l.decode(rx, n_productive),
+            AnyLink::ZigBee(l) => l.decode(rx),
+        }
+    }
+
+    /// The overlay parameters.
+    pub fn params(&self) -> msc_core::OverlayParams {
+        match self {
+            AnyLink::WifiB(l) => l.params(),
+            AnyLink::WifiN(l) => l.params(),
+            AnyLink::Ble(l) => l.params(),
+            AnyLink::ZigBee(l) => l.params(),
+        }
+    }
+}
+
+/// Outcome of one end-to-end packet.
+#[derive(Clone, Debug)]
+pub struct PacketOutcome {
+    /// Whether the receiver decoded the frame at all.
+    pub decoded: bool,
+    /// Tag-bit errors / tag bits.
+    pub tag_errors: usize,
+    /// Tag bits carried.
+    pub tag_bits: usize,
+    /// Productive-unit errors (bit or symbol, protocol-dependent).
+    pub productive_errors: usize,
+    /// Productive units carried.
+    pub productive_units: usize,
+}
+
+impl PacketOutcome {
+    /// Tag BER of this packet (1.0 when undecoded).
+    pub fn tag_ber(&self) -> f64 {
+        if !self.decoded {
+            return 1.0;
+        }
+        if self.tag_bits == 0 {
+            0.0
+        } else {
+            self.tag_errors as f64 / self.tag_bits as f64
+        }
+    }
+}
+
+/// Runs one overlay packet end to end through a geometry.
+pub fn run_packet<R: Rng>(
+    rng: &mut R,
+    link: &AnyLink,
+    geometry: &Geometry,
+    mode: Mode,
+    n_productive: usize,
+) -> PacketOutcome {
+    let p = link.protocol();
+    let (productive, carrier) = link.make_carrier(rng, n_productive);
+    let cap = link.tag_capacity(n_productive);
+    let tag_bits: Vec<u8> = (0..cap).map(|_| rng.gen_range(0..=1)).collect();
+
+    // Tag side: modulation (identification is exercised separately; at
+    // 0.8 m incident power identification succeeds essentially always —
+    // Fig. 5/7/8 quantify it).
+    let modulator = TagOverlayModulator::new(p, params_for(p, mode));
+    let start = (payload_start_seconds(p) * carrier.rate().as_hz()).round() as usize;
+    let modulated = modulator.modulate(&carrier, start, &tag_bits);
+
+    // Uplink channel.
+    let snr = geometry.uplink_snr_db(p);
+    let rx = apply_uplink(rng, &modulated, snr, geometry.fading);
+
+    match link.decode(&rx, n_productive) {
+        Ok(d) => {
+            let tag_errors = tag_bits
+                .iter()
+                .zip(d.tag.iter())
+                .filter(|(a, b)| (*a ^ *b) & 1 == 1)
+                .count()
+                + tag_bits.len().saturating_sub(d.tag.len());
+            let productive_errors = productive
+                .iter()
+                .zip(d.productive.iter())
+                .filter(|(a, b)| a != b)
+                .count()
+                + productive.len().saturating_sub(d.productive.len());
+            PacketOutcome {
+                decoded: true,
+                tag_errors,
+                tag_bits: tag_bits.len(),
+                productive_errors,
+                productive_units: productive.len(),
+            }
+        }
+        Err(_) => PacketOutcome {
+            decoded: false,
+            tag_errors: cap,
+            tag_bits: cap,
+            productive_errors: n_productive,
+            productive_units: n_productive,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_excitations_amplified_to_30dbm() {
+        for p in Protocol::ALL {
+            assert_eq!(tx_power_dbm(p), 30.0);
+        }
+        // Narrowband protocols carry the larger implementation margins.
+        assert!(rx_impl_margin_db(Protocol::ZigBee) > rx_impl_margin_db(Protocol::WifiN));
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let near = Geometry::los(2.0);
+        let far = Geometry::los(20.0);
+        for p in Protocol::ALL {
+            assert!(near.uplink_snr_db(p) > far.uplink_snr_db(p));
+        }
+    }
+
+    #[test]
+    fn close_range_packets_decode_cleanly() {
+        let mut rng = StdRng::seed_from_u64(191);
+        let geo = Geometry::los(2.0);
+        for p in [Protocol::WifiB, Protocol::Ble] {
+            let link = AnyLink::new(p, Mode::Mode1);
+            let out = run_packet(&mut rng, &link, &geo, Mode::Mode1, 16);
+            assert!(out.decoded, "{p} must decode at 2 m");
+            assert_eq!(out.tag_errors, 0, "{p} tag errors at 2 m");
+            assert_eq!(out.productive_errors, 0, "{p} productive errors at 2 m");
+        }
+    }
+
+    #[test]
+    fn absurd_range_packets_fail() {
+        let mut rng = StdRng::seed_from_u64(192);
+        let geo = Geometry::los(500.0);
+        let link = AnyLink::new(Protocol::Ble, Mode::Mode1);
+        let mut failures = 0;
+        for _ in 0..5 {
+            let out = run_packet(&mut rng, &link, &geo, Mode::Mode1, 8);
+            if !out.decoded || out.tag_ber() > 0.2 {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 4, "500 m should be far beyond range");
+    }
+
+    #[test]
+    fn apply_uplink_sets_snr() {
+        let mut rng = StdRng::seed_from_u64(193);
+        let wave = IqBuf::new(
+            vec![msc_dsp::Complex64::ONE; 20_000],
+            msc_dsp::SampleRate::mhz(20.0),
+        );
+        let out = apply_uplink(&mut rng, &wave, 20.0, Fading::None);
+        // Signal power ~1, noise ~0.01 → total ~1.01.
+        assert!((out.mean_power() - 1.01).abs() < 0.01, "power {}", out.mean_power());
+    }
+}

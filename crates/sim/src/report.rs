@@ -1,0 +1,131 @@
+//! Plain-text tables for experiment output (the `paper` binary prints
+//! one table or series per paper figure/table).
+
+use std::fmt::Write as _;
+
+/// A printable experiment report: a title, optional commentary, and an
+/// aligned table.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id + description ("fig13 — LoS RSSI/BER/throughput").
+    pub title: String,
+    /// Free-form notes (calibration caveats, paper-vs-measured summary).
+    pub notes: Vec<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report with a column header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            notes: Vec::new(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Adds a commentary line printed under the table.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:width$}", cells[i], width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", s.trim_end());
+        };
+        line(&mut out, &self.header);
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("test", &["a", "bbbb"]);
+        r.row(&["1".into(), "2".into()]);
+        r.row(&["333".into(), "4".into()]);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("== test =="));
+        assert!(s.contains("a    bbbb"));
+        assert!(s.contains("333  4"));
+        assert!(s.contains("* a note"));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut r = Report::new("t", &["a"]);
+        r.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.931), "93.1%");
+    }
+}

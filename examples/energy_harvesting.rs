@@ -1,0 +1,70 @@
+//! Battery-free operation: the harvest → charge → operate → deplete
+//! cycle of the paper's §3, run as an event-driven simulation.
+//!
+//! A multiscatter tag powered by an MP3-37 solar panel and a BQ25570
+//! energy buffer rides an 802.11n excitation stream. Indoors (500 lux)
+//! it wakes for ~0.18 s every ~3.6 minutes and exchanges ~360 packets
+//! per wake; in sunlight it is powered almost a quarter of the time.
+//!
+//! ```text
+//! cargo run --release --example energy_harvesting
+//! ```
+
+use multiscatter::analog::{EnergyBuffer, Light, SolarHarvester, WakeUpReceiver};
+use multiscatter::sim::energy::{run, EnergySimConfig};
+use multiscatter::sim::traffic::{Arrivals, Stream};
+use multiscatter::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let stream = Stream {
+        protocol: Protocol::WifiN,
+        arrivals: Arrivals::Periodic { rate: 2000.0 },
+        airtime_s: 404e-6,
+        tag_bits_per_packet: 23,
+    };
+
+    println!("battery-free multiscatter tag, 802.11n excitation at 2000 pkts/s\n");
+    let h = SolarHarvester::mp3_37();
+    let b = EnergyBuffer::paper();
+    println!(
+        "energy buffer: {:.1} mJ usable per round; load {:.1} mW → {:.2} s of operation",
+        b.usable_energy_j() * 1e3,
+        279.5,
+        b.runtime_s(279.5e-3)
+    );
+
+    for (label, cfg) in [
+        ("indoor, 500 lux", EnergySimConfig::paper_indoor(vec![stream], 1800.0)),
+        ("outdoor, 104 klux", EnergySimConfig::paper_outdoor(vec![stream], 30.0)),
+    ] {
+        let light = cfg.light;
+        let r = run(&mut rng, &cfg);
+        println!("\n== {label} ==");
+        println!("  harvest power        : {:.2} mW", h.power_w(light) * 1e3);
+        println!("  charge time per round: {:.1} s", b.recharge_s(&h, light));
+        println!("  rounds completed     : {}", r.rounds);
+        println!("  powered fraction     : {:.3}%", r.powered_fraction * 100.0);
+        println!(
+            "  packets ridden       : {} ({:.0} per round), {} missed while dark",
+            r.packets_ridden,
+            r.packets_ridden as f64 / r.rounds.max(1) as f64,
+            r.packets_missed
+        );
+        println!("  tag data delivered   : {:.1} kbit", r.tag_bits as f64 / 1e3);
+    }
+
+    // What the paper's §2.3-note-1 wake-up receiver would add on sparse
+    // excitation: the identification chain only powers while packets fly.
+    let w = WakeUpReceiver::roberts_isscc16();
+    let chain_mw = 35.0; // 2.5 Msps identification chain
+    println!("\nwake-up gating (sparse ZigBee, 20 pkts/s × 4.1 ms):");
+    println!(
+        "  always-on chain {:.1} mW → gated {:.3} mW ({:.0}× saving)",
+        chain_mw,
+        w.average_power_w(chain_mw * 1e-3, 20.0, 4.1e-3) * 1e3,
+        chain_mw / (w.average_power_w(chain_mw * 1e-3, 20.0, 4.1e-3) * 1e3)
+    );
+}

@@ -1,0 +1,80 @@
+//! Protocol identification under the tag's real constraints: a random
+//! mix of packets from all four protocols, identified at three ADC
+//! operating points — full rate, the 10 Msps quantized point, and the
+//! paper's 2.5 Msps + 40 µs extended-window point — with the searched
+//! ordered-matching rule. Prints the confusion matrix per configuration.
+//!
+//! ```text
+//! cargo run --release --example protocol_identification
+//! ```
+
+use multiscatter::core::search::{collect_scores, default_grid, search_ordered_rule};
+use multiscatter::prelude::*;
+use multiscatter::sim::idtraces::{front_end, generate_traces};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 20;
+    for (rate, extended, label) in [
+        (SampleRate::ADC_FULL, false, "20 Msps, 8 µs window, full precision"),
+        (SampleRate::ADC_HALF, false, "10 Msps, 8 µs window, ±1 quantized"),
+        (SampleRate::ADC_LOW, true, "2.5 Msps, 40 µs window, ±1 quantized"),
+    ] {
+        let fe = front_end(rate);
+        let cfg = if extended {
+            TemplateConfig::extended(rate)
+        } else if rate == SampleRate::ADC_FULL {
+            TemplateConfig::full_rate()
+        } else {
+            TemplateConfig::standard(rate)
+        };
+        let mode = if rate == SampleRate::ADC_FULL {
+            MatchMode::FullPrecision
+        } else {
+            MatchMode::Quantized
+        };
+        let bank = TemplateBank::build(&fe, cfg);
+        let matcher = Matcher::new(bank, mode);
+
+        // Train the ordered rule on one trace set (paper §2.3.2's search).
+        let train: Vec<(Protocol, Vec<f64>, isize)> = generate_traces(&fe, n, 11)
+            .into_iter()
+            .map(|t| (t.truth, t.acquired, t.jitter))
+            .collect();
+        let searched = search_ordered_rule(&collect_scores(&matcher, &train), &default_grid());
+
+        // Evaluate on fresh packets.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut confusion = [[0usize; 4]; 4];
+        for (ti, truth) in Protocol::ALL.iter().enumerate() {
+            for _ in 0..n {
+                let wave = multiscatter::sim::idtraces::random_packet(*truth, &mut rng);
+                let incident = rng.gen_range(-9.0..-4.0);
+                let jitter = rng.gen_range(-2..=2);
+                let acquired = fe.acquire(&mut rng, &wave, incident);
+                if let Some(got) = matcher.identify_ordered(&acquired, jitter, &searched.rule) {
+                    let gi = Protocol::ALL.iter().position(|&q| q == got).unwrap();
+                    confusion[ti][gi] += 1;
+                }
+            }
+        }
+
+        println!("== {label} ==");
+        println!("truth \\ identified   11n   11b   BLE   ZigBee");
+        let mut correct = 0usize;
+        for (ti, truth) in Protocol::ALL.iter().enumerate() {
+            print!("{:18}", truth.label());
+            for gi in 0..4 {
+                print!("{:6}", confusion[ti][gi]);
+            }
+            println!();
+            correct += confusion[ti][ti];
+        }
+        println!(
+            "average accuracy: {:.1}%  (ordered chain trained by brute-force search)\n",
+            correct as f64 / (4 * n) as f64 * 100.0
+        );
+    }
+    println!("paper reference points: 99.7% at 20 Msps; 97.6% ordered at 10 Msps; 93% at 2.5 Msps extended.");
+}

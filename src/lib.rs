@@ -1,0 +1,79 @@
+//! # multiscatter — a reproduction of "Multiprotocol Backscatter for Personal IoT Sensors" (CoNEXT 2020)
+//!
+//! This crate is the facade over the workspace that reimplements the
+//! paper's system end to end in Rust:
+//!
+//! * **the multiscatter tag** ([`tag::MultiscatterTag`]): ultra-low-power
+//!   identification of 802.11b / 802.11n / BLE / ZigBee excitations via
+//!   rectifier-envelope template matching (1-bit quantized, ordered), and
+//!   **overlay modulation** of tag data on top of productive carriers;
+//! * **four from-scratch PHYs** ([`phy`]) with both modulators and
+//!   commodity-receiver demodulators;
+//! * **single-commodity-radio overlay links** ([`rx`]) that decode
+//!   productive *and* tag data from one packet on one radio;
+//! * the **analog front end** ([`analog`]): clamp rectifier, ADC, solar
+//!   harvesting, and the prototype power budget;
+//! * **channel models** ([`channel`]) and the two-hop backscatter link
+//!   budget;
+//! * the **Hitchhike / FreeRider baselines** ([`baseline`]); and
+//! * the **experiment harness** ([`sim`]) regenerating every table and
+//!   figure of the paper's evaluation
+//!   (`cargo run -p msc-sim --release --bin paper -- all`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multiscatter::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A commodity radio crafts a BLE overlay carrier (κ = 8, γ = 4).
+//! let params = overlay::params_for(Protocol::Ble, Mode::Mode1);
+//! let link = BleOverlayLink::new(params);
+//! let productive = vec![1, 0, 1, 1, 0, 1, 0, 0];
+//! let carrier = link.make_carrier(&productive);
+//!
+//! // The multiscatter tag identifies the excitation and rides it.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut tag = MultiscatterTag::new(SampleRate::ADC_FULL, Mode::Mode1);
+//! let response = tag.process(&mut rng, &carrier, -6.0, 0.0, &[1]);
+//! assert_eq!(response.identified, Some(Protocol::Ble));
+//!
+//! // One commodity radio decodes BOTH data streams from the packet.
+//! let decoded = link.decode(&response.backscatter.unwrap(), productive.len()).unwrap();
+//! assert_eq!(decoded.productive, productive);
+//! // The tag loaded one bit; unused capacity reads as idle zeros.
+//! assert_eq!(decoded.tag[0], 1);
+//! assert!(decoded.tag[1..].iter().all(|&b| b == 0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use msc_analog as analog;
+pub use msc_baseline as baseline;
+pub use msc_channel as channel;
+pub use msc_core as core;
+pub use msc_dsp as dsp;
+pub use msc_phy as phy;
+pub use msc_rx as rx;
+pub use msc_sim as sim;
+
+/// The paper's tag: identification + overlay modulation.
+pub use msc_core::tag;
+/// Overlay modulation parameters and tag-side modulators.
+pub use msc_core::overlay;
+
+/// One-stop imports for the examples and downstream users.
+pub mod prelude {
+    pub use msc_channel::{Deployment, Fading, LinkBudget, Occlusion};
+    pub use msc_core::overlay::{self, Mode, OverlayParams, TagOverlayModulator};
+    pub use msc_core::{
+        FrontEnd, MatchMode, Matcher, MultiscatterTag, OrderedRule, TemplateBank, TemplateConfig,
+    };
+    pub use msc_dsp::{Complex64, IqBuf, SampleRate};
+    pub use msc_phy::protocol::{DecodeError, Protocol};
+    pub use msc_rx::{
+        BerCounter, BleOverlayLink, OverlayDecoded, ThroughputMeter, WifiBOverlayLink,
+        WifiNOverlayLink, ZigBeeOverlayLink,
+    };
+}

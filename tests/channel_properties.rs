@@ -1,0 +1,67 @@
+//! Property-based tests of the channel substrate: link-budget
+//! monotonicity and model invariants the experiments depend on.
+
+use multiscatter::channel::pathloss::{free_space_db, LogDistance, F_2G4};
+use multiscatter::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn path_loss_is_monotonic(d1 in 0.5f64..100.0, delta in 0.1f64..50.0) {
+        prop_assert!(free_space_db(d1 + delta, F_2G4) > free_space_db(d1, F_2G4));
+        for model in [LogDistance::los_2g4(), LogDistance::nlos_2g4()] {
+            prop_assert!(model.loss_db(d1 + delta) > model.loss_db(d1));
+        }
+    }
+
+    #[test]
+    fn nlos_never_beats_los(d in 1.0f64..60.0) {
+        prop_assert!(LogDistance::nlos_2g4().loss_db(d) >= LogDistance::los_2g4().loss_db(d) - 1e-9);
+    }
+
+    #[test]
+    fn backscatter_budget_monotonic_in_both_hops(
+        d1 in 0.3f64..3.0,
+        d2 in 1.0f64..40.0,
+        e1 in 0.05f64..1.0,
+        e2 in 0.5f64..10.0,
+    ) {
+        let lb = LinkBudget::paper_los();
+        prop_assert!(lb.backscattered_rx_dbm(d1, d2) > lb.backscattered_rx_dbm(d1 + e1, d2));
+        prop_assert!(lb.backscattered_rx_dbm(d1, d2) > lb.backscattered_rx_dbm(d1, d2 + e2));
+    }
+
+    #[test]
+    fn occlusion_only_subtracts(d in 1.0f64..40.0) {
+        let mut lb = LinkBudget::paper_los();
+        let base = lb.backscattered_rx_dbm(0.8, d);
+        for occ in [Occlusion::Drywall, Occlusion::WoodenWall, Occlusion::ConcreteWall] {
+            lb.occlusion = occ;
+            let v = lb.backscattered_rx_dbm(0.8, d);
+            prop_assert!((base - v - occ.loss_db()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fading_has_unit_mean_power_for_any_k(k in 0.1f64..50.0, seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = Fading::Rician { k };
+        let n = 20_000;
+        let p: f64 = (0..n).map(|_| f.sample(&mut rng).norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((p - 1.0).abs() < 0.06, "mean power {p} for K={k}");
+    }
+
+    #[test]
+    fn snr_and_rssi_agree(d in 2.0f64..30.0, bw in 1e6f64..20e6) {
+        // SNR must equal RSSI minus the noise floor, exactly.
+        let lb = LinkBudget::paper_los();
+        let rssi = lb.backscattered_rx_dbm(0.8, d);
+        let snr = lb.backscatter_snr_db(0.8, d, bw);
+        let floor = multiscatter::channel::awgn::noise_floor_dbm(bw, lb.rx_nf_db);
+        prop_assert!((snr - (rssi - floor)).abs() < 1e-9);
+    }
+}

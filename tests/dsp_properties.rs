@@ -1,0 +1,106 @@
+//! Property-based tests of the DSP substrate: the algebraic identities
+//! the modems silently rely on.
+
+use multiscatter::dsp::corr::{normalized_corr, quantized_corr_norm, sign_quantize};
+use multiscatter::dsp::fft::dft;
+use multiscatter::dsp::{Complex64, Fft, Fir};
+use proptest::prelude::*;
+
+fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec(
+        (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| Complex64::new(re, im)),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fft_matches_dft(v in complex_vec(32)) {
+        let fft = Fft::new(32);
+        let got = fft.forward_to_vec(&v);
+        let want = dft(&v);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((*g - *w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(a in complex_vec(16), b in complex_vec(16), k in -3.0f64..3.0) {
+        let fft = Fft::new(16);
+        let fa = fft.forward_to_vec(&a);
+        let fb = fft.forward_to_vec(&b);
+        let combined: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x.scale(k) + y).collect();
+        let fc = fft.forward_to_vec(&combined);
+        for i in 0..16 {
+            prop_assert!((fc[i] - (fa[i].scale(k) + fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_inverse_is_exact_round_trip(v in complex_vec(64)) {
+        let fft = Fft::new(64);
+        let round = fft.inverse_to_vec(&fft.forward_to_vec(&v));
+        for (r, x) in round.iter().zip(&v) {
+            prop_assert!((*r - *x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(v in complex_vec(64)) {
+        let fft = Fft::new(64);
+        let time: f64 = v.iter().map(|s| s.norm_sqr()).sum();
+        let freq: f64 = fft.forward_to_vec(&v).iter().map(|s| s.norm_sqr()).sum::<f64>() / 64.0;
+        prop_assert!((time - freq).abs() < 1e-9 * (1.0 + time));
+    }
+
+    #[test]
+    fn fir_is_linear_and_time_invariant(
+        sig in complex_vec(64),
+        k in 0.1f64..3.0,
+        shift in 1usize..8,
+    ) {
+        let f = Fir::lowpass(0.2, 15);
+        // Linearity.
+        let scaled: Vec<Complex64> = sig.iter().map(|&s| s.scale(k)).collect();
+        let y1 = f.convolve(&scaled);
+        let y2: Vec<Complex64> = f.convolve(&sig).iter().map(|&s| s.scale(k)).collect();
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+        // Time invariance: shifting input shifts output.
+        let mut shifted = vec![Complex64::ZERO; shift];
+        shifted.extend_from_slice(&sig);
+        let ys = f.convolve(&shifted);
+        let y = f.convolve(&sig);
+        for i in 0..y.len() {
+            prop_assert!((ys[i + shift] - y[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_is_bounded_and_symmetric(
+        a in proptest::collection::vec(-5.0f64..5.0, 16),
+        b in proptest::collection::vec(-5.0f64..5.0, 16),
+    ) {
+        let c = normalized_corr(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        prop_assert!((c - normalized_corr(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantized_self_correlation_is_one(sig in proptest::collection::vec(-2.0f64..2.0, 8..64)) {
+        let dc = sig.iter().sum::<f64>() / sig.len() as f64;
+        let q = sign_quantize(&sig, dc);
+        prop_assert!((quantized_corr_norm(&q, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freq_shift_preserves_power(v in complex_vec(128), df in -5e6f64..5e6) {
+        use multiscatter::dsp::{IqBuf, SampleRate};
+        let buf = IqBuf::new(v, SampleRate::mhz(20.0));
+        let shifted = buf.freq_shift(df);
+        prop_assert!((shifted.mean_power() - buf.mean_power()).abs() < 1e-9 * (1.0 + buf.mean_power()));
+    }
+}

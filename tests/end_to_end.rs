@@ -1,0 +1,91 @@
+//! Cross-crate integration: the full excitation → tag → channel →
+//! receiver loop for every protocol, with noise and fading in the loop.
+
+use multiscatter::prelude::*;
+use multiscatter::sim::pipeline::{run_packet, AnyLink, Geometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn close_range_loop_is_error_free_for_all_protocols() {
+    let mut rng = StdRng::seed_from_u64(2020);
+    for p in Protocol::ALL {
+        let link = AnyLink::new(p, Mode::Mode1);
+        for trial in 0..3 {
+            let out = run_packet(&mut rng, &link, &Geometry::los(3.0), Mode::Mode1, 16);
+            assert!(out.decoded, "{p} trial {trial}: packet lost at 3 m");
+            assert_eq!(out.tag_errors, 0, "{p} trial {trial}: tag errors at 3 m");
+            assert_eq!(out.productive_errors, 0, "{p} trial {trial}: productive errors");
+        }
+    }
+}
+
+#[test]
+fn mode2_triples_tag_capacity() {
+    let mut rng = StdRng::seed_from_u64(2021);
+    for p in Protocol::ALL {
+        let l1 = AnyLink::new(p, Mode::Mode1);
+        let l2 = AnyLink::new(p, Mode::Mode2);
+        assert_eq!(l2.tag_capacity(16) * 2, l1.tag_capacity(16) * 6);
+        // Mode 2 still round-trips cleanly at close range.
+        let out = run_packet(&mut rng, &l2, &Geometry::los(3.0), Mode::Mode2, 16);
+        assert!(out.decoded && out.tag_errors == 0, "{p} mode-2 loop failed");
+    }
+}
+
+#[test]
+fn mode3_extreme_tradeoff_round_trips() {
+    // Mode 3: one reference for the whole payload — productive data
+    // shrinks to a single unit per packet, tag data fills the rest.
+    let mut rng = StdRng::seed_from_u64(2024);
+    for p in Protocol::ALL {
+        let mode = Mode::Mode3 { n: 8 };
+        let link = AnyLink::new(p, mode);
+        // One productive unit per sequence: use 2 sequences.
+        let out = run_packet(&mut rng, &link, &Geometry::los(3.0), mode, 2);
+        assert!(out.decoded, "{p} mode-3 packet lost");
+        assert_eq!(out.tag_errors, 0, "{p} mode-3 tag errors");
+        // Mode 3 carries n−1 = 7 tag bits per productive unit.
+        assert_eq!(out.tag_bits, 14, "{p} capacity");
+    }
+}
+
+#[test]
+fn distance_monotonically_degrades_the_link() {
+    let mut rng = StdRng::seed_from_u64(2022);
+    let link = AnyLink::new(Protocol::Ble, Mode::Mode1);
+    let ber_at = |rng: &mut StdRng, d: f64| -> f64 {
+        let mut total = 0.0;
+        let n = 6;
+        for _ in 0..n {
+            total += run_packet(rng, &link, &Geometry::los(d), Mode::Mode1, 12).tag_ber();
+        }
+        total / n as f64
+    };
+    let near = ber_at(&mut rng, 3.0);
+    let far = ber_at(&mut rng, 40.0);
+    assert!(near < 0.05, "near BER {near}");
+    assert!(far > 0.2, "far BER {far}");
+}
+
+#[test]
+fn tag_rides_any_identified_carrier_and_single_protocol_tag_idles() {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let mut multi = MultiscatterTag::new(SampleRate::ADC_FULL, Mode::Mode1);
+    let mut single =
+        MultiscatterTag::new(SampleRate::ADC_FULL, Mode::Mode1).single_protocol(Protocol::WifiB);
+    let mut multi_tx = 0;
+    let mut single_tx = 0;
+    for (i, p) in Protocol::ALL.iter().enumerate() {
+        let wave = multiscatter::sim::idtraces::random_packet(*p, &mut rng);
+        let t = i as f64 * 0.01;
+        if multi.process(&mut rng, &wave, -6.0, t, &[1, 0]).backscatter.is_some() {
+            multi_tx += 1;
+        }
+        if single.process(&mut rng, &wave, -6.0, t, &[1, 0]).backscatter.is_some() {
+            single_tx += 1;
+        }
+    }
+    assert_eq!(multi_tx, 4, "multiscatter must ride every carrier");
+    assert_eq!(single_tx, 1, "single-protocol tag must idle on foreign carriers");
+}

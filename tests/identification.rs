@@ -1,0 +1,90 @@
+//! Integration tests of the identification stack: templates, matching,
+//! the ordered-rule search, and robustness to the paper's parameter
+//! sweeps (sampling rate, quantization, window extension).
+
+use multiscatter::core::search::{
+    blind_accuracy, collect_scores, default_grid, rule_accuracy, search_ordered_rule,
+};
+use multiscatter::prelude::*;
+use multiscatter::sim::idtraces::{front_end, generate_traces};
+
+fn tuples(
+    fe: &FrontEnd,
+    n: usize,
+    seed: u64,
+) -> Vec<(Protocol, Vec<f64>, isize)> {
+    generate_traces(fe, n, seed)
+        .into_iter()
+        .map(|t| (t.truth, t.acquired, t.jitter))
+        .collect()
+}
+
+#[test]
+fn full_rate_identification_is_near_perfect() {
+    let fe = front_end(SampleRate::ADC_FULL);
+    let bank = TemplateBank::build(&fe, TemplateConfig::full_rate());
+    let m = Matcher::new(bank, MatchMode::FullPrecision);
+    let scores = collect_scores(&m, &tuples(&fe, 12, 3));
+    let acc = blind_accuracy(&scores);
+    assert!(acc > 0.95, "20 Msps full-precision accuracy {acc}");
+}
+
+#[test]
+fn quantization_keeps_accuracy_at_10msps() {
+    let fe = front_end(SampleRate::ADC_HALF);
+    let bank = TemplateBank::build(&fe, TemplateConfig::standard(SampleRate::ADC_HALF));
+    let m = Matcher::new(bank, MatchMode::Quantized);
+    let train = collect_scores(&m, &tuples(&fe, 12, 5));
+    let result = search_ordered_rule(&train, &default_grid());
+    let test = collect_scores(&m, &tuples(&fe, 12, 6));
+    let acc = rule_accuracy(&result.rule, &test);
+    assert!(acc > 0.85, "10 Msps quantized ordered accuracy {acc}");
+}
+
+#[test]
+fn window_extension_beats_short_window_at_low_rate() {
+    let rate = SampleRate::ADC_LOW;
+    let fe = front_end(rate);
+    let run = |cfg: TemplateConfig| -> f64 {
+        let bank = TemplateBank::build(&fe, cfg);
+        let m = Matcher::new(bank, MatchMode::Quantized);
+        let train = collect_scores(&m, &tuples(&fe, 10, 7));
+        let rule = search_ordered_rule(&train, &default_grid()).rule;
+        let test = collect_scores(&m, &tuples(&fe, 10, 8));
+        rule_accuracy(&rule, &test)
+    };
+    let short = run(TemplateConfig::standard(rate));
+    let extended = run(TemplateConfig::extended(rate));
+    assert!(
+        extended >= short,
+        "extension must not lose: short {short} vs extended {extended}"
+    );
+    assert!(extended > 0.85, "extended accuracy {extended}");
+}
+
+#[test]
+fn template_storage_fits_the_agln250() {
+    // §2.3 note 2: templates cost ~1% of the 36 kb storage.
+    let rate = SampleRate::ADC_LOW;
+    let fe = front_end(rate);
+    let bank = TemplateBank::build(&fe, TemplateConfig::extended(rate));
+    assert!(bank.storage_bits() <= 400);
+    assert!((bank.storage_bits() as f64) < 0.02 * 36_000.0);
+}
+
+#[test]
+fn searched_rule_never_loses_to_blind_on_training_data() {
+    for rate in [SampleRate::ADC_HALF, SampleRate::ADC_LOW] {
+        let fe = front_end(rate);
+        let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
+        let m = Matcher::new(bank, MatchMode::Quantized);
+        let data = collect_scores(&m, &tuples(&fe, 10, 9));
+        let result = search_ordered_rule(&data, &default_grid());
+        assert!(
+            result.accuracy >= result.blind_accuracy,
+            "{rate:?}: ordered {} < blind {}",
+            result.accuracy,
+            result.blind_accuracy
+        );
+    }
+}

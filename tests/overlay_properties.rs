@@ -1,0 +1,118 @@
+//! Property-based tests of the overlay-modulation invariants: for any
+//! valid (κ, γ) and any productive/tag payloads, the single-receiver
+//! decode recovers both streams exactly on a clean channel.
+
+use multiscatter::core::overlay::{OverlayParams, TagOverlayModulator};
+use multiscatter::core::tag::payload_start_seconds;
+use multiscatter::prelude::*;
+use multiscatter::rx::WifiNOverlayLink;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = OverlayParams> {
+    // γ ∈ {2, 4}; κ/γ ∈ {2, 3, 4}.
+    (prop_oneof![Just(2usize), Just(4usize)], 2usize..=4)
+        .prop_map(|(gamma, blocks)| OverlayParams::new(gamma * blocks, gamma))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn wifi_b_overlay_round_trip(
+        params in params_strategy(),
+        productive in proptest::collection::vec(0u8..=1, 4..12),
+        seed in 0u64..1000,
+    ) {
+        let link = WifiBOverlayLink::new(params);
+        let carrier = link.make_carrier(&productive);
+        let cap = link.tag_capacity(productive.len());
+        let mut rng_state = seed;
+        let tag_bits: Vec<u8> = (0..cap).map(|_| {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) & 1) as u8
+        }).collect();
+        let tag = TagOverlayModulator::new(Protocol::WifiB, params);
+        let start = (payload_start_seconds(Protocol::WifiB) * carrier.rate().as_hz()).round() as usize;
+        let modulated = tag.modulate(&carrier, start, &tag_bits);
+        let decoded = link.decode(&modulated).unwrap();
+        prop_assert_eq!(decoded.productive, productive);
+        prop_assert_eq!(decoded.tag, tag_bits);
+    }
+
+    #[test]
+    fn ble_overlay_round_trip(
+        params in params_strategy(),
+        productive in proptest::collection::vec(0u8..=1, 4..12),
+    ) {
+        let link = BleOverlayLink::new(params);
+        let carrier = link.make_carrier(&productive);
+        let cap = link.tag_capacity(productive.len());
+        let tag_bits: Vec<u8> = (0..cap).map(|i| ((i * 7 + 3) % 2) as u8).collect();
+        let tag = TagOverlayModulator::new(Protocol::Ble, params);
+        let start = (payload_start_seconds(Protocol::Ble) * carrier.rate().as_hz()).round() as usize;
+        let modulated = tag.modulate(&carrier, start, &tag_bits);
+        let decoded = link.decode(&modulated, productive.len()).unwrap();
+        prop_assert_eq!(decoded.productive, productive);
+        prop_assert_eq!(decoded.tag, tag_bits);
+    }
+
+    #[test]
+    fn zigbee_overlay_round_trip(
+        params in params_strategy(),
+        productive in proptest::collection::vec(0u8..16, 4..10),
+    ) {
+        // Keep total payload symbols even (nibble packing) — κ·len is
+        // even because κ is even.
+        let link = ZigBeeOverlayLink::new(params);
+        let carrier = link.make_carrier(&productive);
+        let cap = link.tag_capacity(productive.len());
+        let tag_bits: Vec<u8> = (0..cap).map(|i| (i % 2) as u8).collect();
+        let tag = TagOverlayModulator::new(Protocol::ZigBee, params);
+        let start = (payload_start_seconds(Protocol::ZigBee) * carrier.rate().as_hz()).round() as usize;
+        let modulated = tag.modulate(&carrier, start, &tag_bits);
+        let decoded = link.decode(&modulated).unwrap();
+        prop_assert_eq!(decoded.productive, productive);
+        prop_assert_eq!(decoded.tag, tag_bits);
+    }
+
+    #[test]
+    fn wifi_n_overlay_round_trip(
+        params in params_strategy(),
+        productive in proptest::collection::vec(0u8..=1, 2..8),
+        mcs_sel in 0usize..3,
+    ) {
+        use multiscatter::phy::wifi_n::Mcs;
+        let mcs = [Mcs::Mcs0, Mcs::Mcs1, Mcs::Mcs3][mcs_sel];
+        let link = WifiNOverlayLink::new(params).with_mcs(mcs);
+        let carrier = link.make_carrier(&productive);
+        let cap = link.tag_capacity(productive.len());
+        let tag_bits: Vec<u8> = (0..cap).map(|i| ((i * 5 + 1) % 2) as u8).collect();
+        let tag = TagOverlayModulator::new(Protocol::WifiN, params);
+        let start = (payload_start_seconds(Protocol::WifiN) * carrier.rate().as_hz()).round() as usize;
+        let modulated = tag.modulate(&carrier, start, &tag_bits);
+        let decoded = link.decode(&modulated).unwrap();
+        prop_assert_eq!(decoded.productive, productive);
+        prop_assert_eq!(decoded.tag, tag_bits);
+    }
+
+    #[test]
+    fn capacity_accounting_is_consistent(params in params_strategy(), n in 1usize..40) {
+        // tag bits per sequence × sequences == capacity reported by the
+        // modulator for whole-sequence payloads.
+        let tag = TagOverlayModulator::new(Protocol::WifiN, params);
+        let n_symbols = n * params.kappa;
+        prop_assert_eq!(tag.capacity(n_symbols), n * params.tag_bits_per_sequence());
+        // Partial sequences carry nothing extra.
+        prop_assert_eq!(tag.capacity(n_symbols + params.kappa - 1), n * params.tag_bits_per_sequence());
+    }
+
+    #[test]
+    fn modulation_preserves_power(params in params_strategy(), bits in proptest::collection::vec(0u8..=1, 1..8)) {
+        // PSK/FSK tag modulation is unit-modulus: the backscattered
+        // waveform has exactly the carrier's power.
+        let carrier = IqBuf::new(vec![Complex64::new(0.6, 0.2); 4 * 80 * 16], SampleRate::mhz(20.0));
+        let tag = TagOverlayModulator::new(Protocol::WifiN, params);
+        let out = tag.modulate(&carrier, 0, &bits);
+        prop_assert!((out.mean_power() - carrier.mean_power()).abs() < 1e-12);
+    }
+}
