@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — backed by
+//! a simple wall-clock sampler: auto-calibrated batch size, a warm-up
+//! pass, then `sample_size` timed batches reporting the median and
+//! spread per iteration.
+//!
+//! No statistics beyond median/min/max, no HTML reports, no saved
+//! baselines — the point is a dependency-free harness whose numbers are
+//! stable enough to compare two in-tree configurations (e.g. the
+//! instrumented-vs-disabled observability guard in `crates/bench`).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Global bench-name filter (substring), parsed from CLI args by
+/// [`criterion_main!`].
+static FILTER: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+
+#[doc(hidden)]
+pub fn __set_filter_from_args() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let _ = FILTER.set(filter);
+}
+
+fn name_selected(name: &str) -> bool {
+    match FILTER.get() {
+        Some(Some(f)) => name.contains(f.as_str()),
+        _ => true,
+    }
+}
+
+/// The benchmark driver: holds sampling configuration and runs benches.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.into_bench_id(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    fn run_one<F>(&self, name: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !name_selected(name) {
+            return;
+        }
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+    }
+}
+
+/// A named sub-scope of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_bench_id());
+        self.criterion.run_one(&name, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_bench_id());
+        self.criterion.run_one(&name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (report flushing is immediate; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Conversion into a display name; implemented for the id types the
+/// `bench_function`/`bench_with_input` call sites pass.
+pub trait IntoBenchId {
+    /// The display name.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, called in auto-calibrated batches.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: double the batch size until one batch takes at
+        // least ~1/5 of the warm-up budget (or a floor of 50 µs).
+        let floor = (self.warm_up_time / 5).max(Duration::from_micros(50));
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t0.elapsed() >= floor || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Warm-up for the remaining budget.
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            for _ in 0..batch {
+                black_box(f());
+            }
+        }
+        // Timed samples, bounded by measurement_time.
+        let deadline = Instant::now() + self.measurement_time;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() > deadline && self.samples_ns.len() >= 2 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<50} (no samples — bencher closure never called iter)");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        println!("{name:<50} time: [{} {} {}]", fmt_ns(lo), fmt_ns(median), fmt_ns(hi));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::__set_filter_from_args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        assert_eq!(BenchmarkId::new("f", "x").into_bench_id(), "f/x");
+        assert_eq!(BenchmarkId::from_parameter(3).into_bench_id(), "3");
+    }
+}

@@ -57,10 +57,7 @@ impl Adc {
     /// (quantization applied), which is what the FPGA matcher consumes.
     pub fn sample(&self, analog: &[f64], input_rate: SampleRate) -> Vec<f64> {
         let resampled = resample_linear(analog, input_rate, self.rate);
-        resampled
-            .into_iter()
-            .map(|v| self.dequantize(self.quantize(v)))
-            .collect()
+        resampled.into_iter().map(|v| self.dequantize(self.quantize(v))).collect()
     }
 
     /// Power draw in mW, scaling linearly with sample rate from the

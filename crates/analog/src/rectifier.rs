@@ -172,9 +172,8 @@ mod tests {
         // rectifier must follow the dips, WISP must smear them.
         let mut rng = StdRng::seed_from_u64(91);
         let n = 2000;
-        let envelope: Vec<f64> = (0..n)
-            .map(|i| if (i / 10) % 2 == 0 { 0.5 } else { 0.15 })
-            .collect();
+        let envelope: Vec<f64> =
+            (0..n).map(|i| if (i / 10) % 2 == 0 { 0.5 } else { 0.15 }).collect();
         let ours = Rectifier::ours().run(&mut rng, &envelope, rate());
         let wisp = Rectifier::wisp().run(&mut rng, &envelope, rate());
         let swing = |v: &[f64]| {

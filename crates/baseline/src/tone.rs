@@ -69,9 +69,7 @@ impl InterscatterTag {
             baseband
         };
         let n = baseband.len().min(carrier.len());
-        let samples = (0..n)
-            .map(|i| carrier.samples()[i] * baseband.samples()[i])
-            .collect();
+        let samples = (0..n).map(|i| carrier.samples()[i] * baseband.samples()[i]).collect();
         IqBuf::new(samples, carrier.rate())
     }
 }
@@ -110,9 +108,7 @@ impl PassiveWifiTag {
             baseband
         };
         let n = baseband.len().min(carrier.len());
-        let samples = (0..n)
-            .map(|i| carrier.samples()[i] * baseband.samples()[i])
-            .collect();
+        let samples = (0..n).map(|i| carrier.samples()[i] * baseband.samples()[i]).collect();
         IqBuf::new(samples, carrier.rate())
     }
 }
@@ -126,8 +122,8 @@ impl Default for PassiveWifiTag {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msc_phy::ble::BleDemodulator;
     use msc_phy::bits::{ber, random_bits, random_bytes};
+    use msc_phy::ble::BleDemodulator;
     use msc_phy::wifi_b::WifiBDemodulator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -169,8 +165,8 @@ mod tests {
         let payload = random_bytes(&mut rng, 20);
         let tag = InterscatterTag::new();
         // A productive 802.11b frame as the "carrier".
-        let productive = WifiBModulator::new(WifiBConfig::default())
-            .modulate(&random_bits(&mut rng, 400));
+        let productive =
+            WifiBModulator::new(WifiBConfig::default()).modulate(&random_bits(&mut rng, 400));
         let tx = tag.synthesize(&productive, 0x02, &payload);
         match BleDemodulator::new(BleConfig::default()).demodulate(&tx) {
             Err(_) => {}

@@ -125,11 +125,7 @@ impl TwoReceiverSystem {
             bit_diffs.clear();
             for s in 0..spb {
                 let k = i + s;
-                let a_bit = a
-                    .raw_symbol_bits
-                    .get(k + off)
-                    .copied()
-                    .unwrap_or(0);
+                let a_bit = a.raw_symbol_bits.get(k + off).copied().unwrap_or(0);
                 let b_bit = b.raw_symbol_bits.get(k).copied().unwrap_or(0);
                 bit_diffs.push(a_bit ^ b_bit);
             }
@@ -221,9 +217,7 @@ mod tests {
             assert_eq!(TwoReceiverSystem::draw_offset(&mut rng, 0.5), 0);
             assert!(TwoReceiverSystem::draw_offset(&mut rng, 30.0) <= 8);
         }
-        let far: usize = (0..200)
-            .map(|_| TwoReceiverSystem::draw_offset(&mut rng, 16.0))
-            .sum();
+        let far: usize = (0..200).map(|_| TwoReceiverSystem::draw_offset(&mut rng, 16.0)).sum();
         assert!(far > 200, "offsets at 16 m should average well above 1");
     }
 }

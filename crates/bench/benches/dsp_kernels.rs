@@ -7,9 +7,7 @@ use msc_dsp::{Complex64, Fft, Fir, SampleRate};
 
 fn bench_fft(c: &mut Criterion) {
     let fft = Fft::new(64);
-    let input: Vec<Complex64> = (0..64)
-        .map(|i| Complex64::cis(i as f64 * 0.37))
-        .collect();
+    let input: Vec<Complex64> = (0..64).map(|i| Complex64::cis(i as f64 * 0.37)).collect();
     c.bench_function("fft64_forward", |b| {
         b.iter(|| {
             let mut data = input.clone();
@@ -36,12 +34,8 @@ fn bench_correlation(c: &mut Criterion) {
 
 fn bench_fir(c: &mut Criterion) {
     let filt = Fir::lowpass(0.2, 31);
-    let sig: Vec<Complex64> = (0..2048)
-        .map(|i| Complex64::cis(i as f64 * 0.05))
-        .collect();
-    c.bench_function("fir31_filter_2048", |b| {
-        b.iter(|| filt.filter_same(black_box(&sig)))
-    });
+    let sig: Vec<Complex64> = (0..2048).map(|i| Complex64::cis(i as f64 * 0.05)).collect();
+    c.bench_function("fir31_filter_2048", |b| b.iter(|| filt.filter_same(black_box(&sig))));
 }
 
 fn bench_resample(c: &mut Criterion) {

@@ -55,15 +55,12 @@ fn bench_window_extension(c: &mut Criterion) {
     let rate = SampleRate::ADC_LOW;
     let (fe, acq) = acquisition(rate);
     let mut group = c.benchmark_group("identify_by_window");
-    for (cfg, label) in [
-        (TemplateConfig::standard(rate), "8us"),
-        (TemplateConfig::extended(rate), "40us"),
-    ] {
+    for (cfg, label) in
+        [(TemplateConfig::standard(rate), "8us"), (TemplateConfig::extended(rate), "40us")]
+    {
         let bank = TemplateBank::build(&fe, cfg);
         let matcher = Matcher::new(bank, MatchMode::Quantized);
-        group.bench_function(label, |b| {
-            b.iter(|| matcher.identify_blind(black_box(&acq), 0))
-        });
+        group.bench_function(label, |b| b.iter(|| matcher.identify_blind(black_box(&acq), 0)));
     }
     group.finish();
 }

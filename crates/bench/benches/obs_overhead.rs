@@ -1,0 +1,73 @@
+//! Observability overhead guard: the same identification and overlay
+//! hot paths benchmarked with the msc-obs layer disabled (the default —
+//! instrumentation must cost one relaxed atomic load) and with metrics
+//! enabled, so a regression in the disabled path is visible as a gap
+//! between the `disabled/*` and baseline `identification`/`overlay`
+//! bench numbers across runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msc_core::envelope::FrontEnd;
+use msc_core::overlay::{params_for, Mode, TagOverlayModulator};
+use msc_core::{MatchMode, Matcher, OrderedRule, TemplateBank, TemplateConfig};
+use msc_dsp::{Complex64, IqBuf, SampleRate};
+use msc_phy::protocol::Protocol;
+use msc_sim::idtraces::random_packet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn identify_setup() -> (Matcher, OrderedRule, Vec<f64>) {
+    let rate = SampleRate::ADC_HALF;
+    let fe = FrontEnd::prototype(rate);
+    let mut rng = StdRng::seed_from_u64(11);
+    let wave = random_packet(Protocol::WifiB, &mut rng);
+    let acq = fe.acquire(&mut rng, &wave, -6.0);
+    let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
+    (Matcher::new(bank, MatchMode::Quantized), OrderedRule::paper_default(), acq)
+}
+
+fn overlay_setup() -> (TagOverlayModulator, IqBuf, Vec<u8>) {
+    let params = params_for(Protocol::WifiN, Mode::Mode1);
+    let modulator = TagOverlayModulator::new(Protocol::WifiN, params);
+    let carrier = IqBuf::new(vec![Complex64::ONE; 16_000], SampleRate::mhz(20.0));
+    let bits = vec![1u8, 0, 1, 1, 0, 1, 0, 0, 1, 1];
+    (modulator, carrier, bits)
+}
+
+fn bench_disabled_vs_enabled(c: &mut Criterion) {
+    let (matcher, rule, acq) = identify_setup();
+    let (modulator, carrier, bits) = overlay_setup();
+
+    // Disabled path: neither tracing nor metrics installed. These
+    // numbers must match the uninstrumented identification/overlay
+    // benches within noise (<2%).
+    assert!(!msc_obs::metrics::enabled() && !msc_obs::trace::enabled());
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("identify_ordered", |b| {
+        b.iter(|| matcher.identify_ordered(black_box(&acq), 0, &rule))
+    });
+    group.bench_function("overlay_modulate", |b| {
+        b.iter(|| modulator.modulate(black_box(&carrier), 0, &bits))
+    });
+    group.finish();
+
+    // Enabled path: quantifies what turning metrics on costs (expected
+    // to be small but nonzero — registry mutex + clock reads).
+    msc_obs::metrics::enable();
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("identify_ordered", |b| {
+        b.iter(|| matcher.identify_ordered(black_box(&acq), 0, &rule))
+    });
+    group.bench_function("overlay_modulate", |b| {
+        b.iter(|| modulator.modulate(black_box(&carrier), 0, &bits))
+    });
+    group.finish();
+    msc_obs::metrics::disable();
+    msc_obs::metrics::Registry::global().reset();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_disabled_vs_enabled
+}
+criterion_main!(benches);

@@ -54,9 +54,7 @@ fn bench_overlay_decode(c: &mut Criterion) {
             (payload_start_seconds(Protocol::Ble) * carrier.rate().as_hz()).round() as usize;
         let bits: Vec<u8> = (0..link.tag_capacity(24)).map(|_| rng.gen_range(0..=1)).collect();
         let modulated = tag.modulate(&carrier, start, &bits);
-        group.bench_function("ble", |b| {
-            b.iter(|| link.decode(black_box(&modulated), 24).unwrap())
-        });
+        group.bench_function("ble", |b| b.iter(|| link.decode(black_box(&modulated), 24).unwrap()));
     }
     // ZigBee.
     {

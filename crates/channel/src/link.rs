@@ -79,7 +79,8 @@ impl LinkBudget {
     /// Backscattered power at the receiver: source at `d1` from the tag,
     /// receiver at `d2`.
     pub fn backscattered_rx_dbm(&self, d1: f64, d2: f64) -> f64 {
-        self.incident_at_tag_dbm(d1) - self.backscatter_loss_db + self.tag_gain_dbi
+        self.incident_at_tag_dbm(d1) - self.backscatter_loss_db
+            + self.tag_gain_dbi
             + self.rx_gain_dbi
             - self.model().loss_db(d2)
             - self.occlusion.loss_db()
@@ -89,7 +90,8 @@ impl LinkBudget {
     /// with occlusion applied — the "original channel" of Hitchhike /
     /// FreeRider experiments.
     pub fn direct_rx_dbm(&self, d: f64) -> f64 {
-        self.tx_power_dbm + self.tx_gain_dbi + self.rx_gain_dbi - self.model().loss_db(d)
+        self.tx_power_dbm + self.tx_gain_dbi + self.rx_gain_dbi
+            - self.model().loss_db(d)
             - self.occlusion.loss_db()
     }
 

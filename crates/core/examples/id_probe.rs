@@ -20,11 +20,13 @@ fn packet(p: Protocol, rng: &mut StdRng) -> msc_dsp::IqBuf {
 }
 
 fn main() {
+    msc_obs::trace::install(std::sync::Arc::new(msc_obs::trace::StderrSubscriber));
     let mut rng = StdRng::seed_from_u64(7);
     let args: Vec<String> = std::env::args().collect();
     let plo: f64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(-10.0);
     let phi: f64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(-3.0);
-    let plo = &plo; let phi = &phi;
+    let plo = &plo;
+    let phi = &phi;
     for (rate, label, ext) in [
         (SampleRate::ADC_FULL, "20Msps std", false),
         (SampleRate::ADC_HALF, "10Msps std", false),
@@ -33,7 +35,13 @@ fn main() {
         (SampleRate::ADC_FLOOR, "1Msps ext", true),
     ] {
         let fe = FrontEnd::prototype(rate);
-        let cfg = if ext { TemplateConfig::extended(rate) } else if rate == SampleRate::ADC_FULL { TemplateConfig::full_rate() } else { TemplateConfig::standard(rate) };
+        let cfg = if ext {
+            TemplateConfig::extended(rate)
+        } else if rate == SampleRate::ADC_FULL {
+            TemplateConfig::full_rate()
+        } else {
+            TemplateConfig::standard(rate)
+        };
         let bank = TemplateBank::build(&fe, cfg);
         for mode in [MatchMode::FullPrecision, MatchMode::Quantized] {
             let m = Matcher::new(bank.clone(), mode);
@@ -47,12 +55,22 @@ fn main() {
                     let power = rng.gen_range(*plo..*phi);
                     let acq = fe.acquire(&mut rng, &wave, power);
                     let j = rng.gen_range(-2..=2);
-                    if m.identify_blind(&acq, j) == Some(*p) { ok_blind[pi] += 1; }
-                    if m.identify_ordered(&acq, j, &rule) == Some(*p) { ok_ord[pi] += 1; }
+                    if m.identify_blind(&acq, j) == Some(*p) {
+                        ok_blind[pi] += 1;
+                    }
+                    if m.identify_ordered(&acq, j, &rule) == Some(*p) {
+                        ok_ord[pi] += 1;
+                    }
                 }
             }
-            let f = |v: [usize;4]| v.iter().map(|&x| x as f64 / n as f64).collect::<Vec<_>>();
-            println!("{label:12} {mode:?}: blind {:?} ordered {:?}", f(ok_blind), f(ok_ord));
+            let f = |v: [usize; 4]| v.iter().map(|&x| x as f64 / n as f64).collect::<Vec<_>>();
+            msc_obs::event!(
+                "probe.id",
+                setup = label,
+                mode = ?mode,
+                blind = ?f(ok_blind),
+                ordered = ?f(ok_ord)
+            );
         }
     }
 }

@@ -104,10 +104,8 @@ mod tests {
         for _ in 0..30 {
             for coding in [TagCoding::Repetition, TagCoding::Fec] {
                 let coded = coding.encode(&info);
-                let received: Vec<u8> = coded
-                    .iter()
-                    .map(|&b| if rng.gen_bool(p_err) { b ^ 1 } else { b })
-                    .collect();
+                let received: Vec<u8> =
+                    coded.iter().map(|&b| if rng.gen_bool(p_err) { b ^ 1 } else { b }).collect();
                 let back = coding.decode(&received, info.len());
                 let e = (ber(&info, &back) * info.len() as f64).round() as usize;
                 match coding {
@@ -120,9 +118,6 @@ mod tests {
         let rep_ber = rep_errors as f64 / bits as f64;
         let fec_ber = fec_errors as f64 / bits as f64;
         assert!(rep_ber > 0.01, "repetition BER {rep_ber} (should track p_err)");
-        assert!(
-            fec_ber < rep_ber / 5.0,
-            "FEC must crush scattered errors: {fec_ber} vs {rep_ber}"
-        );
+        assert!(fec_ber < rep_ber / 5.0, "FEC must crush scattered errors: {fec_ber} vs {rep_ber}");
     }
 }

@@ -105,8 +105,7 @@ impl FrontEnd {
         let rms = buf.mean_power().sqrt();
         let peak_v = dbm_to_envelope_volts(incident_dbm);
         let scale = if rms > 1e-20 { peak_v / rms } else { 0.0 };
-        let envelope: Vec<f64> =
-            self.rf_envelope(buf).into_iter().map(|e| e * scale).collect();
+        let envelope: Vec<f64> = self.rf_envelope(buf).into_iter().map(|e| e * scale).collect();
         let mut rect = self.rectifier.run(rng, &envelope, buf.rate());
         // Analog noise at the rectifier output.
         if self.noise_v > 0.0 {
@@ -214,13 +213,10 @@ mod tests {
             .collect();
         let e_in = fe.rf_envelope(&IqBuf::new(inband, rate));
         let e_out = fe.rf_envelope(&IqBuf::new(outband, rate));
-        let p = |v: &[f64]| msc_dsp::stats::mean(&v[500..3500].iter().map(|x| x * x).collect::<Vec<_>>());
-        assert!(
-            p(&e_in) > 20.0 * p(&e_out),
-            "in-band {} vs out-of-band {}",
-            p(&e_in),
-            p(&e_out)
-        );
+        let p = |v: &[f64]| {
+            msc_dsp::stats::mean(&v[500..3500].iter().map(|x| x * x).collect::<Vec<_>>())
+        };
+        assert!(p(&e_in) > 20.0 * p(&e_out), "in-band {} vs out-of-band {}", p(&e_in), p(&e_out));
     }
 
     #[test]

@@ -67,12 +67,9 @@ impl FreqShifter {
         let fs = buf.rate().as_hz();
         let w = std::f64::consts::TAU * self.shift_hz / fs;
         let samples: Vec<Complex64> = match self.mode {
-            ShiftMode::Ideal => buf
-                .samples()
-                .iter()
-                .enumerate()
-                .map(|(n, &s)| s.rotate(w * n as f64))
-                .collect(),
+            ShiftMode::Ideal => {
+                buf.samples().iter().enumerate().map(|(n, &s)| s.rotate(w * n as f64)).collect()
+            }
             ShiftMode::QuadratureSquare => {
                 // Square-wave SSB: sum of odd harmonics e^{j(2k+1)wn}
                 // with amplitude (2/π)·(−1)^k... equivalently multiply
@@ -166,7 +163,10 @@ mod tests {
         let up = p[128] / total;
         let down = p[1024 - 128] / total;
         assert!((up - down).abs() < 0.01, "sidebands must be symmetric: {up} vs {down}");
-        assert!((up - 4.0 / std::f64::consts::PI.powi(2) / (8.0 / std::f64::consts::PI.powi(2))).abs() < 0.5);
+        assert!(
+            (up - 4.0 / std::f64::consts::PI.powi(2) / (8.0 / std::f64::consts::PI.powi(2))).abs()
+                < 0.5
+        );
         assert!((s.conversion_loss_db() - 3.92).abs() < 0.05);
     }
 

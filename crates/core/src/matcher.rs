@@ -3,7 +3,26 @@
 //! quantized arithmetic, with blind or ordered decision rules.
 
 use crate::templates::{detect_start, TemplateBank};
+use msc_obs::metrics::{self, buckets};
 use msc_phy::protocol::Protocol;
+
+/// Records one finished score vector into the `id.score` histograms
+/// (one per template) and emits an `id.scores` trace event. No-op while
+/// observability is disabled.
+fn record_scores(s: &Scores) {
+    if metrics::enabled() {
+        for p in Protocol::ALL {
+            metrics::hist_observe("id.score", p.label(), "match", s.get(p), buckets::SCORE);
+        }
+    }
+    msc_obs::event!(
+        "id.scores",
+        wifin = format_args!("{:.3}", s.get(Protocol::WifiN)),
+        wifib = format_args!("{:.3}", s.get(Protocol::WifiB)),
+        ble = format_args!("{:.3}", s.get(Protocol::Ble)),
+        zigbee = format_args!("{:.3}", s.get(Protocol::ZigBee))
+    );
+}
 
 /// Arithmetic path for correlation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,10 +46,7 @@ pub fn multibit_quantize(window: &[f64], dc: f64, rms: f64, bits: u8) -> Vec<i32
     assert!((2..=8).contains(&bits), "multi-bit quantization supports 2-8 bits");
     let max_code = (1i32 << (bits - 1)) - 1;
     let scale = if rms > 1e-30 { max_code as f64 / (2.0 * rms) } else { 0.0 };
-    window
-        .iter()
-        .map(|&x| (((x - dc) * scale).round() as i32).clamp(-max_code, max_code))
-        .collect()
+    window.iter().map(|&x| (((x - dc) * scale).round() as i32).clamp(-max_code, max_code)).collect()
 }
 
 /// Integer correlation of two quantized windows, normalized to [-1, 1].
@@ -127,12 +143,28 @@ impl OrderedRule {
 
     /// Applies the chain to a score vector.
     pub fn decide(&self, s: &Scores) -> Protocol {
-        for step in &self.steps {
+        for (i, step) in self.steps.iter().enumerate() {
             if s.get(step.protocol) > step.threshold {
+                metrics::counter_add("id.decision", step.protocol.label(), "ordered", 1);
+                msc_obs::event!(
+                    "id.decision",
+                    protocol = step.protocol.label(),
+                    rule = "ordered",
+                    step = i,
+                    score = format_args!("{:.3}", s.get(step.protocol))
+                );
                 return step.protocol;
             }
         }
-        s.argmax()
+        let p = s.argmax();
+        metrics::counter_add("id.decision", p.label(), "fallback", 1);
+        msc_obs::event!(
+            "id.decision",
+            protocol = p.label(),
+            rule = "fallback",
+            score = format_args!("{:.3}", s.get(p))
+        );
+        p
     }
 }
 
@@ -190,10 +222,7 @@ impl Matcher {
                 let rms = msc_dsp::corr::rms_about(body, dc);
                 let normalized = msc_dsp::corr::normalize_window(body, dc, rms);
                 for t in self.bank.templates() {
-                    out.set(
-                        t.protocol,
-                        msc_dsp::corr::normalized_corr(&normalized, &t.normalized),
-                    );
+                    out.set(t.protocol, msc_dsp::corr::normalized_corr(&normalized, &t.normalized));
                 }
             }
             MatchMode::Quantized => {
@@ -240,6 +269,9 @@ impl Matcher {
                 });
             }
         }
+        if let Some(s) = &best {
+            record_scores(s);
+        }
         best
     }
 
@@ -264,6 +296,9 @@ impl Matcher {
                     }
                 });
             }
+        }
+        if let Some(s) = &best {
+            record_scores(s);
         }
         best
     }
@@ -393,7 +428,7 @@ mod tests {
     #[test]
     fn short_window_is_rejected() {
         let m = matcher(MatchMode::FullPrecision);
-        assert!(m.score_window(&vec![0.1; 10]).is_none());
+        assert!(m.score_window(&[0.1; 10]).is_none());
     }
 
     #[test]

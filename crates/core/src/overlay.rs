@@ -46,9 +46,9 @@ pub struct OverlayParams {
 impl OverlayParams {
     /// Creates parameters, validating the κ/γ relationship.
     pub fn new(kappa: usize, gamma: usize) -> Self {
-        assert!(gamma >= 1 && gamma % 2 == 0, "gamma must be even, got {gamma}");
+        assert!(gamma >= 1 && gamma.is_multiple_of(2), "gamma must be even, got {gamma}");
         assert!(
-            kappa >= 2 * gamma && kappa % gamma == 0,
+            kappa >= 2 * gamma && kappa.is_multiple_of(gamma),
             "kappa must be a multiple of gamma and at least 2·gamma (got κ={kappa}, γ={gamma})"
         );
         OverlayParams { kappa, gamma }
@@ -179,6 +179,7 @@ impl TagOverlayModulator {
         let mut out = excitation.clone();
         let samples = out.samples_mut();
         let mut bit_idx = 0usize;
+        let mut flipped_blocks = 0usize;
         for seq in 0..n_seq {
             for blk in 0..per_seq {
                 let bit = tag_bits.get(bit_idx).copied().unwrap_or(0) & 1;
@@ -186,6 +187,7 @@ impl TagOverlayModulator {
                 if bit == 0 {
                     continue;
                 }
+                flipped_blocks += 1;
                 // Block start: skip the reference block (γ symbols).
                 let sym0 = seq * self.params.kappa + gamma * (1 + blk);
                 let start = payload_start + sym0 * sps;
@@ -210,8 +212,8 @@ impl TagOverlayModulator {
                     }
                     Protocol::Ble => {
                         // −Δf during the block (phase ramp).
-                        let step = -std::f64::consts::TAU * BLE_TAG_SHIFT_HZ
-                            / excitation.rate().as_hz();
+                        let step =
+                            -std::f64::consts::TAU * BLE_TAG_SHIFT_HZ / excitation.rate().as_hz();
                         for (k, s) in samples[start.min(end)..end].iter_mut().enumerate() {
                             *s = s.rotate(step * k as f64);
                         }
@@ -219,6 +221,24 @@ impl TagOverlayModulator {
                 }
             }
         }
+        if msc_obs::metrics::enabled() {
+            let label = self.protocol.label();
+            msc_obs::metrics::counter_add("overlay.sequences", label, "modulate", n_seq as u64);
+            msc_obs::metrics::counter_add("overlay.tag_bits", label, "modulate", bit_idx as u64);
+            msc_obs::metrics::counter_add(
+                "overlay.flipped_blocks",
+                label,
+                "modulate",
+                flipped_blocks as u64,
+            );
+        }
+        msc_obs::event!(
+            "overlay.modulate",
+            protocol = self.protocol.label(),
+            sequences = n_seq,
+            tag_bits = bit_idx,
+            flipped = flipped_blocks
+        );
         out
     }
 }
@@ -238,10 +258,7 @@ mod tests {
         assert_eq!(params_for(Protocol::Ble, Mode::Mode1), OverlayParams::new(8, 4));
         assert_eq!(params_for(Protocol::ZigBee, Mode::Mode2), OverlayParams::new(8, 2));
         // Mode 3: κ = γ·n.
-        assert_eq!(
-            params_for(Protocol::Ble, Mode::Mode3 { n: 25 }),
-            OverlayParams::new(100, 4)
-        );
+        assert_eq!(params_for(Protocol::Ble, Mode::Mode3 { n: 25 }), OverlayParams::new(100, 4));
     }
 
     #[test]

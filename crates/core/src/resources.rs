@@ -96,8 +96,7 @@ impl MatcherCost {
             }
             Arithmetic::MultiBit(bits) => {
                 let b = bits as f64 / 9.0;
-                227.0 + self.multipliers() as f64 * 63.0 * b * b
-                    + self.adders() as f64 * 9.0 * b
+                227.0 + self.multipliers() as f64 * 63.0 * b * b + self.adders() as f64 * 9.0 * b
             }
             // 241.2 base + 2.8 LUT per 1-bit cell.
             Arithmetic::Quantized => 241.2 + self.adders() as f64 * 2.8,
@@ -158,7 +157,8 @@ mod tests {
         assert!((quant.power_mw(20e6) - 12.0).abs() < 0.2);
 
         // 2.5 Msps with the 75-sample extended matching window.
-        let low = MatcherCost { template_size: 75, protocols: 4, arithmetic: Arithmetic::Quantized };
+        let low =
+            MatcherCost { template_size: 75, protocols: 4, arithmetic: Arithmetic::Quantized };
         assert!((low.luts() - 1_070.0).abs() < 5.0, "luts {}", low.luts());
         assert!((low.power_mw(2.5e6) - 2.0).abs() < 0.3, "p {}", low.power_mw(2.5e6));
     }
@@ -168,8 +168,9 @@ mod tests {
         // Paper: 2 mW at 2.5 Msps quantized is "282× lower power" than
         // the naive implementation.
         let naive = MatcherCost::table2(Arithmetic::FullPrecision).power_mw(20e6);
-        let low = MatcherCost { template_size: 75, protocols: 4, arithmetic: Arithmetic::Quantized }
-            .power_mw(2.5e6);
+        let low =
+            MatcherCost { template_size: 75, protocols: 4, arithmetic: Arithmetic::Quantized }
+                .power_mw(2.5e6);
         let ratio = naive / low;
         assert!(ratio > 250.0 && ratio < 320.0, "ratio {ratio}");
     }
@@ -192,8 +193,10 @@ mod tests {
 
     #[test]
     fn smaller_templates_cost_less() {
-        let big = MatcherCost { template_size: 120, protocols: 4, arithmetic: Arithmetic::Quantized };
-        let small = MatcherCost { template_size: 60, protocols: 4, arithmetic: Arithmetic::Quantized };
+        let big =
+            MatcherCost { template_size: 120, protocols: 4, arithmetic: Arithmetic::Quantized };
+        let small =
+            MatcherCost { template_size: 60, protocols: 4, arithmetic: Arithmetic::Quantized };
         assert!(small.dffs() < big.dffs());
         assert!(small.luts() < big.luts());
     }

@@ -29,11 +29,8 @@ impl CarrierScheduler {
     /// Creates a scheduler with an observation window (seconds).
     pub fn new(window_s: f64) -> Self {
         assert!(window_s > 0.0);
-        let mk = || ProtocolStats {
-            arrivals: VecDeque::new(),
-            tag_bits_per_packet: 0.0,
-            delivery: 1.0,
-        };
+        let mk =
+            || ProtocolStats { arrivals: VecDeque::new(), tag_bits_per_packet: 0.0, delivery: 1.0 };
         CarrierScheduler { window_s, now: 0.0, stats: [mk(), mk(), mk(), mk()] }
     }
 

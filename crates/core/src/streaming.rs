@@ -113,6 +113,13 @@ impl StreamingMatcher {
             if self.armed && self.pending_edge.is_none() {
                 self.armed = false;
                 self.pending_edge = Some((self.consumed - 1, 0));
+                msc_obs::metrics::counter_add("stream.edges", "", "acquire", 1);
+                msc_obs::event!(
+                    "stream.edge",
+                    at = self.consumed - 1,
+                    level = format_args!("{level:.4}"),
+                    threshold = format_args!("{threshold:.4}")
+                );
             }
             self.quiet_run = 0;
         } else {
@@ -130,11 +137,19 @@ impl StreamingMatcher {
                 let start = self.window.len().saturating_sub(behind);
                 if let Some(scores) = self.matcher.score_acquired_at(&self.window, start) {
                     let protocol = self.rule.decide(&scores);
-                    return Some(Detection {
-                        at: edge_at,
-                        protocol,
-                        score: scores.get(protocol),
-                    });
+                    msc_obs::metrics::counter_add(
+                        "stream.detections",
+                        protocol.label(),
+                        "acquire",
+                        1,
+                    );
+                    msc_obs::event!(
+                        "stream.detect",
+                        at = edge_at,
+                        protocol = protocol.label(),
+                        score = format_args!("{:.3}", scores.get(protocol))
+                    );
+                    return Some(Detection { at: edge_at, protocol, score: scores.get(protocol) });
                 }
             } else {
                 self.pending_edge = Some((edge_at, seen));
@@ -197,13 +212,13 @@ mod tests {
         let mut truth = Vec::new();
         for &p in protos {
             let gap = rng.gen_range(200..400);
-            out.extend(std::iter::repeat(0.0).take(gap));
+            out.extend(std::iter::repeat_n(0.0, gap));
             truth.push((out.len(), p));
             let wave = canonical_waveform(p);
             let acq = fe.acquire(&mut rng, &wave, -6.0);
             out.extend(acq);
         }
-        out.extend(std::iter::repeat(0.0).take(300));
+        out.extend(std::iter::repeat_n(0.0, 300));
         (out, truth)
     }
 
@@ -258,9 +273,9 @@ mod tests {
         let mut samples = vec![0.0; 250];
         let a = fe.acquire(&mut rng, &canonical_waveform(Protocol::ZigBee), -6.0);
         samples.extend_from_slice(&a);
-        samples.extend(std::iter::repeat(0.0).take(5)); // < rearm gap (30 @2.5M)
+        samples.extend(std::iter::repeat_n(0.0, 5)); // < rearm gap (30 @2.5M)
         samples.extend_from_slice(&a);
-        samples.extend(std::iter::repeat(0.0).take(300));
+        samples.extend(std::iter::repeat_n(0.0, 300));
         let detections = sm.feed(&samples);
         assert_eq!(detections.len(), 1, "{detections:?}");
     }

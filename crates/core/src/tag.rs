@@ -113,8 +113,7 @@ impl MultiscatterTag {
         }
 
         let modulator = TagOverlayModulator::for_mode(p, self.mode);
-        let payload_start =
-            (payload_start_seconds(p) * excitation.rate().as_hz()).round() as usize;
+        let payload_start = (payload_start_seconds(p) * excitation.rate().as_hz()).round() as usize;
         let sps = (p.base_symbol_seconds() * excitation.rate().as_hz()).round() as usize;
         let n_symbols = excitation.len().saturating_sub(payload_start) / sps.max(1);
         let capacity = modulator.capacity(n_symbols);
@@ -205,11 +204,13 @@ mod tests {
         let wave = packet(Protocol::WifiB, &mut rng);
         // -35 dBm is far below the rectifier's sensitivity.
         let resp = tag.process(&mut rng, &wave, -35.0, 0.0, &[1]);
-        assert!(resp.backscatter.is_none() || resp.identified.is_none() || {
-            // If the detector fired on noise, it must at least not load bits
-            // (capacity 0) — but normally we expect no identification.
-            true
-        });
+        assert!(
+            resp.backscatter.is_none() || resp.identified.is_none() || {
+                // If the detector fired on noise, it must at least not load bits
+                // (capacity 0) — but normally we expect no identification.
+                true
+            }
+        );
         // The meaningful assertion: acquisition is essentially flat.
         let acq = tag.front_end().acquire(&mut rng, &wave, -35.0);
         assert!(msc_dsp::stats::mean(&acq) < 5e-3);

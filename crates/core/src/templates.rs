@@ -112,7 +112,7 @@ pub fn detect_start(samples: &[f64]) -> Option<usize> {
         return None;
     }
     let level = msc_dsp::stats::percentile(samples, 90.0);
-    if !(level > 0.0) {
+    if level.is_nan() || level <= 0.0 {
         return None;
     }
     let thresh = 0.4 * level;
@@ -169,12 +169,8 @@ impl TemplateBank {
                 };
                 let acquired = front_end.acquire_clean(&wave, -5.0);
                 let start = detect_start(&acquired).expect("canonical packet must be visible");
-                let window: Vec<f64> = acquired
-                    .iter()
-                    .skip(start)
-                    .take(config.total())
-                    .copied()
-                    .collect();
+                let window: Vec<f64> =
+                    acquired.iter().skip(start).take(config.total()).copied().collect();
                 assert!(
                     window.len() == config.total(),
                     "canonical {p} packet shorter than the window"
@@ -204,10 +200,7 @@ impl TemplateBank {
 
     /// The template for one protocol.
     pub fn get(&self, p: Protocol) -> &Template {
-        self.templates
-            .iter()
-            .find(|t| t.protocol == p)
-            .expect("bank holds all four protocols")
+        self.templates.iter().find(|t| t.protocol == p).expect("bank holds all four protocols")
     }
 
     /// Storage cost in bits of the quantized templates (paper §2.3 note
@@ -266,12 +259,7 @@ mod tests {
                 if a.protocol == b.protocol {
                     assert!((c - 1.0).abs() < 1e-9);
                 } else {
-                    assert!(
-                        c < 0.8,
-                        "{} vs {} correlate {c}",
-                        a.protocol,
-                        b.protocol
-                    );
+                    assert!(c < 0.8, "{} vs {} correlate {c}", a.protocol, b.protocol);
                 }
             }
         }

@@ -32,10 +32,7 @@ impl IqBuf {
 
     /// Builds a buffer from real-valued samples (imaginary parts zero).
     pub fn from_real(real: &[f64], rate: SampleRate) -> Self {
-        IqBuf {
-            samples: real.iter().map(|&r| Complex64::new(r, 0.0)).collect(),
-            rate,
-        }
+        IqBuf { samples: real.iter().map(|&r| Complex64::new(r, 0.0)).collect(), rate }
     }
 
     /// The sample rate.
@@ -82,16 +79,13 @@ impl IqBuf {
 
     /// Appends another buffer. Panics on rate mismatch.
     pub fn extend(&mut self, other: &IqBuf) {
-        assert_eq!(
-            self.rate, other.rate,
-            "cannot concatenate buffers at different sample rates"
-        );
+        assert_eq!(self.rate, other.rate, "cannot concatenate buffers at different sample rates");
         self.samples.extend_from_slice(&other.samples);
     }
 
     /// Appends `n` zero samples (guard interval / inter-packet silence).
     pub fn extend_silence(&mut self, n: usize) {
-        self.samples.extend(std::iter::repeat(Complex64::ZERO).take(n));
+        self.samples.extend(std::iter::repeat_n(Complex64::ZERO, n));
     }
 
     /// Pushes a single sample.
@@ -138,10 +132,7 @@ impl IqBuf {
 
     /// Peak instantaneous power, `max |x|^2`.
     pub fn peak_power(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.norm_sqr())
-            .fold(0.0_f64, f64::max)
+        self.samples.iter().map(|s| s.norm_sqr()).fold(0.0_f64, f64::max)
     }
 
     /// Peak-to-average power ratio (linear). 1.0 for constant-envelope.
@@ -163,12 +154,8 @@ impl IqBuf {
     /// shifting idealized as a complex mixer.
     pub fn freq_shift(&self, delta_hz: f64) -> IqBuf {
         let step = std::f64::consts::TAU * delta_hz / self.rate.as_hz();
-        let samples = self
-            .samples
-            .iter()
-            .enumerate()
-            .map(|(n, &s)| s.rotate(step * n as f64))
-            .collect();
+        let samples =
+            self.samples.iter().enumerate().map(|(n, &s)| s.rotate(step * n as f64)).collect();
         IqBuf::new(samples, self.rate)
     }
 

@@ -53,20 +53,14 @@ pub fn sliding_corr(signal: &[f64], template: &[f64]) -> Vec<f64> {
 /// Quantizes samples to ±1 around a reference level (the DC estimate from
 /// the preprocessing window). This is the 1-bit quantization of §2.3.1.
 pub fn sign_quantize(signal: &[f64], dc: f64) -> Vec<i8> {
-    signal
-        .iter()
-        .map(|&x| if x >= dc { 1 } else { -1 })
-        .collect()
+    signal.iter().map(|&x| if x >= dc { 1 } else { -1 }).collect()
 }
 
 /// Integer correlation of two ±1 sequences: the count of agreements minus
 /// disagreements. On the FPGA this is pure adders (no multipliers).
 pub fn quantized_corr(a: &[i8], b: &[i8]) -> i32 {
     assert_eq!(a.len(), b.len(), "quantized windows must have equal length");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| if x == y { 1i32 } else { -1i32 })
-        .sum()
+    a.iter().zip(b).map(|(&x, &y)| if x == y { 1i32 } else { -1i32 }).sum()
 }
 
 /// Normalized form of [`quantized_corr`] in `[-1, 1]`.
@@ -140,11 +134,7 @@ mod tests {
             signal[7 + i] = t;
         }
         let scores = sliding_corr(&signal, &template);
-        let best = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let best = scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
         assert_eq!(best.0, 7);
         assert!((best.1 - 1.0).abs() < 1e-12);
     }

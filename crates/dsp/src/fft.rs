@@ -28,9 +28,7 @@ impl Fft {
             .map(|k| Complex64::cis(-std::f64::consts::TAU * k as f64 / n as f64))
             .collect();
         let bits = n.trailing_zeros();
-        let rev = (0..n)
-            .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as usize)
-            .collect();
+        let rev = (0..n).map(|i| i.reverse_bits() >> (usize::BITS - bits)).collect();
         Fft { n, twiddles, rev }
     }
 
@@ -107,7 +105,9 @@ pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
             input
                 .iter()
                 .enumerate()
-                .map(|(t, &x)| x * Complex64::cis(-std::f64::consts::TAU * (k * t) as f64 / n as f64))
+                .map(|(t, &x)| {
+                    x * Complex64::cis(-std::f64::consts::TAU * (k * t) as f64 / n as f64)
+                })
                 .sum()
         })
         .collect()
@@ -132,9 +132,7 @@ pub fn welch_psd(input: &[Complex64], nfft: usize) -> Vec<f64> {
     }
     let fft = Fft::new(nfft);
     let window: Vec<f64> = (0..nfft)
-        .map(|i| {
-            0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / (nfft - 1) as f64).cos())
-        })
+        .map(|i| 0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / (nfft - 1) as f64).cos()))
         .collect();
     let wpow: f64 = window.iter().map(|w| w * w).sum::<f64>() / nfft as f64;
     let hop = nfft / 2;
@@ -142,11 +140,8 @@ pub fn welch_psd(input: &[Complex64], nfft: usize) -> Vec<f64> {
     let mut segments = 0usize;
     let mut start = 0usize;
     while start + nfft <= input.len() {
-        let seg: Vec<Complex64> = input[start..start + nfft]
-            .iter()
-            .zip(&window)
-            .map(|(&s, &w)| s.scale(w))
-            .collect();
+        let seg: Vec<Complex64> =
+            input[start..start + nfft].iter().zip(&window).map(|(&s, &w)| s.scale(w)).collect();
         let spec = fft.forward_to_vec(&seg);
         for (a, s) in acc.iter_mut().zip(&spec) {
             *a += s.norm_sqr();
@@ -165,10 +160,7 @@ mod tests {
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch: {x:?} vs {y:?} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch: {x:?} vs {y:?} (tol {tol})");
         }
     }
 
@@ -217,9 +209,8 @@ mod tests {
     fn inverse_round_trip() {
         let n = 128;
         let fft = Fft::new(n);
-        let input: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
-            .collect();
+        let input: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
         let mut data = input.clone();
         fft.forward(&mut data);
         fft.inverse(&mut data);
@@ -247,12 +238,7 @@ mod tests {
             .map(|t| Complex64::cis(std::f64::consts::TAU * k0 as f64 * t as f64 / 64.0))
             .collect();
         let psd = welch_psd(&input, 64);
-        let peak = psd
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = psd.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak, k0);
         // The tone's power concentrates in a few bins around the peak.
         let near: f64 = psd[k0.saturating_sub(2)..(k0 + 3).min(64)].iter().sum();

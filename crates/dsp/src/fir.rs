@@ -89,7 +89,7 @@ impl Fir {
             cutoff_norm > 0.0 && cutoff_norm < 0.5,
             "cutoff must be in (0, 0.5) of the sample rate, got {cutoff_norm}"
         );
-        let n = if num_taps % 2 == 0 { num_taps + 1 } else { num_taps };
+        let n = if num_taps.is_multiple_of(2) { num_taps + 1 } else { num_taps };
         let m = (n - 1) as f64;
         let taps: Vec<f64> = (0..n)
             .map(|i| {
@@ -99,8 +99,7 @@ impl Fir {
                 } else {
                     (std::f64::consts::TAU * cutoff_norm * x).sin() / (std::f64::consts::PI * x)
                 };
-                let window =
-                    0.54 - 0.46 * (std::f64::consts::TAU * i as f64 / m).cos();
+                let window = 0.54 - 0.46 * (std::f64::consts::TAU * i as f64 / m).cos();
                 sinc * window
             })
             .collect();
@@ -177,12 +176,10 @@ mod tests {
         let f = Fir::lowpass(0.1, 63);
         let n = 256;
         // Low tone at 0.02 fs, high tone at 0.4 fs.
-        let low: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::cis(std::f64::consts::TAU * 0.02 * i as f64))
-            .collect();
-        let high: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::cis(std::f64::consts::TAU * 0.4 * i as f64))
-            .collect();
+        let low: Vec<Complex64> =
+            (0..n).map(|i| Complex64::cis(std::f64::consts::TAU * 0.02 * i as f64)).collect();
+        let high: Vec<Complex64> =
+            (0..n).map(|i| Complex64::cis(std::f64::consts::TAU * 0.4 * i as f64)).collect();
         let low_out = f.filter_same(&low);
         let high_out = f.filter_same(&high);
         let p = |v: &[Complex64]| v[64..192].iter().map(|s| s.norm_sqr()).sum::<f64>();
@@ -210,12 +207,7 @@ mod tests {
     fn half_sine_peaks_mid_chip() {
         let f = Fir::half_sine(8);
         let t = f.taps();
-        let max_idx = t
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx = t.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(max_idx == 3 || max_idx == 4);
         assert!(t[0] > 0.0 && t[0] < 0.3);
     }

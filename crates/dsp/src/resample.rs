@@ -27,7 +27,7 @@ pub fn upsample_hold(signal: &[f64], factor: usize) -> Vec<f64> {
     assert!(factor >= 1);
     let mut out = Vec::with_capacity(signal.len() * factor);
     for &x in signal {
-        out.extend(std::iter::repeat(x).take(factor));
+        out.extend(std::iter::repeat_n(x, factor));
     }
     out
 }
@@ -136,9 +136,8 @@ mod tests {
     #[test]
     fn linear_resample_up_preserves_tone_shape() {
         let n = 200;
-        let sig: Vec<f64> = (0..n)
-            .map(|i| (std::f64::consts::TAU * 0.01 * i as f64).sin())
-            .collect();
+        let sig: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * 0.01 * i as f64).sin()).collect();
         let out = resample_linear(&sig, SampleRate::mhz(10.0), SampleRate::mhz(20.0));
         assert_eq!(out.len(), 400);
         // Check a mid-point against the analytic value; interpolation error
@@ -152,9 +151,8 @@ mod tests {
     fn resample_iq_round_trip_approx() {
         let r20 = SampleRate::mhz(20.0);
         let r25 = SampleRate::mhz(2.5);
-        let samples: Vec<Complex64> = (0..800)
-            .map(|i| Complex64::cis(std::f64::consts::TAU * 0.002 * i as f64))
-            .collect();
+        let samples: Vec<Complex64> =
+            (0..800).map(|i| Complex64::cis(std::f64::consts::TAU * 0.002 * i as f64)).collect();
         let buf = IqBuf::new(samples, r20);
         let down = resample_iq(&buf, r25);
         assert_eq!(down.len(), 100);
@@ -175,9 +173,8 @@ mod tests {
         let src_rate = SampleRate::mhz(2.0);
         let dst_rate = SampleRate::mhz(16.0);
         let n = 256;
-        let tone: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::cis(std::f64::consts::TAU * 0.15 * i as f64))
-            .collect();
+        let tone: Vec<Complex64> =
+            (0..n).map(|i| Complex64::cis(std::f64::consts::TAU * 0.15 * i as f64)).collect();
         let buf = IqBuf::new(tone, src_rate);
         let image_power = |b: &IqBuf| -> f64 {
             // Energy above 1 MHz via a crude high-pass: x[n] - x[n-1]

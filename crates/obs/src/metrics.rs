@@ -1,0 +1,370 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms
+//! keyed by `(experiment, protocol, stage)`.
+//!
+//! Recording goes through free functions ([`counter_add`],
+//! [`gauge_set`], [`hist_observe`], [`time_stage`]) that early-return on
+//! one relaxed atomic load while metrics are disabled — instrumentation
+//! stays in hot paths at zero practical cost. The *experiment* label is
+//! ambient (set once per run via [`set_experiment`]) so DSP-layer code
+//! doesn't need to thread experiment identity through its signatures.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Instant;
+
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// Enables metric recording.
+pub fn enable() {
+    METRICS_ON.store(true, Ordering::Release);
+}
+
+/// Disables metric recording (records become no-ops again).
+pub fn disable() {
+    METRICS_ON.store(false, Ordering::Release);
+}
+
+/// True when metrics are being recorded (the fast-path check).
+#[inline(always)]
+pub fn enabled() -> bool {
+    METRICS_ON.load(Ordering::Relaxed)
+}
+
+fn experiment_slot() -> &'static RwLock<String> {
+    static SLOT: OnceLock<RwLock<String>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(String::new()))
+}
+
+/// Sets the ambient experiment label attached to subsequent records.
+pub fn set_experiment(id: &str) {
+    *experiment_slot().write().unwrap() = id.to_string();
+}
+
+/// The current ambient experiment label.
+pub fn current_experiment() -> String {
+    experiment_slot().read().unwrap().clone()
+}
+
+/// The label triple every metric is keyed by.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    /// Metric name (`layer.thing`).
+    pub name: &'static str,
+    /// Ambient experiment id (`fig13`, `tab1`, … or `""`).
+    pub experiment: String,
+    /// Protocol label (`802.11b`, `BLE`, … or `""`).
+    pub protocol: &'static str,
+    /// Pipeline stage (`carrier`, `decode`, … or `""`).
+    pub stage: &'static str,
+}
+
+/// One metric's current value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Monotonic counter (saturating).
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+/// A fixed-bucket histogram: counts per bucket plus moment summaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket edges (a value `v` lands in the first bucket with
+    /// `v <= edge`; larger values land in the overflow slot).
+    pub edges: &'static [f64],
+    /// Per-bucket counts; `counts.len() == edges.len() + 1`, the last
+    /// slot being overflow.
+    pub counts: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    fn new(edges: &'static [f64]) -> Self {
+        Histogram {
+            edges,
+            counts: vec![0; edges.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let slot = self.edges.iter().position(|&e| v <= e).unwrap_or(self.edges.len());
+        self.counts[slot] = self.counts[slot].saturating_add(1);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum += v;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One exported metric record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// The label triple plus name.
+    pub key: Key,
+    /// The value at snapshot time.
+    pub value: Value,
+}
+
+/// The metric store. Usually used through [`Registry::global`] and the
+/// free recording functions, but owned registries work too (tests).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<Key, Value>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Adds `delta` to a counter (saturating at `u64::MAX`).
+    pub fn counter_add(&self, key: Key, delta: u64) {
+        let mut map = self.inner.lock().unwrap();
+        let v = map.entry(key).or_insert(Value::Counter(0));
+        match v {
+            Value::Counter(c) => *c = c.saturating_add(delta),
+            _ => panic!("metric type mismatch: counter_add on non-counter"),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, key: Key, value: f64) {
+        let mut map = self.inner.lock().unwrap();
+        let v = map.entry(key).or_insert(Value::Gauge(0.0));
+        match v {
+            Value::Gauge(g) => *g = value,
+            _ => panic!("metric type mismatch: gauge_set on non-gauge"),
+        }
+    }
+
+    /// Observes one histogram sample.
+    pub fn hist_observe(&self, key: Key, value: f64, edges: &'static [f64]) {
+        let mut map = self.inner.lock().unwrap();
+        let v = map.entry(key).or_insert_with(|| Value::Histogram(Histogram::new(edges)));
+        match v {
+            Value::Histogram(h) => h.observe(value),
+            _ => panic!("metric type mismatch: hist_observe on non-histogram"),
+        }
+    }
+
+    /// A sorted snapshot of every metric (deterministic export order).
+    pub fn snapshot(&self) -> Vec<Record> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| Record { key: k.clone(), value: v.clone() })
+            .collect()
+    }
+
+    /// Clears all metrics (start of a run; tests).
+    pub fn reset(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Number of distinct metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no metrics are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+fn key(name: &'static str, protocol: &'static str, stage: &'static str) -> Key {
+    Key { name, experiment: current_experiment(), protocol, stage }
+}
+
+/// Adds `delta` to the named global counter; no-op while disabled.
+#[inline]
+pub fn counter_add(name: &'static str, protocol: &'static str, stage: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    Registry::global().counter_add(key(name, protocol, stage), delta);
+}
+
+/// Sets the named global gauge; no-op while disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, protocol: &'static str, stage: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    Registry::global().gauge_set(key(name, protocol, stage), value);
+}
+
+/// Observes one sample of the named global histogram; no-op while
+/// disabled.
+#[inline]
+pub fn hist_observe(
+    name: &'static str,
+    protocol: &'static str,
+    stage: &'static str,
+    value: f64,
+    edges: &'static [f64],
+) {
+    if !enabled() {
+        return;
+    }
+    Registry::global().hist_observe(key(name, protocol, stage), value, edges);
+}
+
+/// Runs `f`, recording its wall-clock into the `pipe.stage_us`
+/// histogram for `(protocol, stage)` when metrics are enabled. The
+/// disabled path calls `f` directly — no clock read.
+#[inline]
+pub fn time_stage<T>(protocol: &'static str, stage: &'static str, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let out = f();
+    let us = t0.elapsed().as_secs_f64() * 1e6;
+    Registry::global().hist_observe(key("pipe.stage_us", protocol, stage), us, buckets::LATENCY_US);
+    out
+}
+
+/// Canonical bucket-edge sets for the quantities the stack measures.
+pub mod buckets {
+    /// Correlation scores in `[0, 1]`, 0.05 steps.
+    pub const SCORE: &[f64] = &[
+        0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75,
+        0.80, 0.85, 0.90, 0.95, 1.0,
+    ];
+    /// Stage latency in microseconds, exponential.
+    pub const LATENCY_US: &[f64] = &[
+        1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5,
+        2e5, 5e5, 1e6,
+    ];
+    /// SNR in dB, 5 dB steps across the operating range.
+    pub const SNR_DB: &[f64] =
+        &[-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0];
+    /// Bit-error rates, decade edges.
+    pub const BER: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0];
+}
+
+/// Serializes tests that manipulate the global registry / enable flag.
+#[doc(hidden)]
+pub fn tests_serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &'static str) -> Key {
+        Key { name, experiment: "test".into(), protocol: "ble", stage: "decode" }
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let r = Registry::new();
+        r.counter_add(k("c"), u64::MAX - 1);
+        r.counter_add(k("c"), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].value, Value::Counter(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper() {
+        let r = Registry::new();
+        static EDGES: &[f64] = &[1.0, 2.0, 5.0];
+        // Exactly on an edge → that bucket; above all edges → overflow.
+        for v in [0.5, 1.0, 1.5, 2.0, 5.0, 7.0, 100.0] {
+            r.hist_observe(k("h"), v, EDGES);
+        }
+        let snap = r.snapshot();
+        let Value::Histogram(h) = &snap[0].value else { panic!() };
+        assert_eq!(h.counts, vec![2, 2, 1, 2]);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - (0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0 + 100.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min_max() {
+        let h = Histogram::new(buckets::SCORE);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn disabled_free_functions_record_nothing() {
+        let _guard = tests_serial();
+        disable();
+        let before = Registry::global().len();
+        counter_add("t.off", "", "", 1);
+        gauge_set("t.off.g", "", "", 1.0);
+        hist_observe("t.off.h", "", "", 1.0, buckets::SCORE);
+        assert_eq!(Registry::global().len(), before);
+    }
+
+    #[test]
+    fn enabled_free_functions_key_by_ambient_experiment() {
+        let _guard = tests_serial();
+        Registry::global().reset();
+        set_experiment("unit");
+        enable();
+        counter_add("t.on", "zigbee", "decode", 3);
+        counter_add("t.on", "zigbee", "decode", 2);
+        disable();
+        let snap = Registry::global().snapshot();
+        let rec = snap.iter().find(|r| r.key.name == "t.on").expect("recorded");
+        assert_eq!(rec.key.experiment, "unit");
+        assert_eq!(rec.value, Value::Counter(5));
+        Registry::global().reset();
+        set_experiment("");
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let r = Registry::new();
+        r.counter_add(k("b"), 1);
+        r.counter_add(k("a"), 1);
+        let names: Vec<_> = r.snapshot().iter().map(|rec| rec.key.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

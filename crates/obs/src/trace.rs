@@ -1,0 +1,219 @@
+//! Span-based structured tracing with a global subscriber.
+//!
+//! Instrumented code calls the [`crate::event!`] and [`crate::span!`]
+//! macros; both check one relaxed [`AtomicBool`] and do nothing else
+//! when no subscriber is installed, so instrumentation can live in hot
+//! paths permanently. Installing a [`Subscriber`] flips the flag and
+//! routes every record through it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Whether a subscriber is installed (the macro fast path).
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn Subscriber>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Subscriber>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// One key/value pair attached to an event or span.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name (the identifier at the macro call site).
+    pub key: &'static str,
+    /// Rendered value.
+    pub value: String,
+}
+
+impl Field {
+    /// A field rendered with `Display`.
+    pub fn display(key: &'static str, value: &dyn std::fmt::Display) -> Self {
+        Field { key, value: value.to_string() }
+    }
+
+    /// A field rendered with `Debug` (the `?value` macro sigil).
+    pub fn debug(key: &'static str, value: &dyn std::fmt::Debug) -> Self {
+        Field { key, value: format!("{value:?}") }
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A point-in-time event.
+    Event,
+    /// A span was entered.
+    SpanEnter,
+    /// A span exited; the last field is its duration (`dur_us`).
+    SpanExit,
+}
+
+/// One trace record delivered to a subscriber.
+#[derive(Clone, Debug)]
+pub struct Event<'a> {
+    /// Record kind.
+    pub kind: Kind,
+    /// Dotted event name (`layer.thing`).
+    pub name: &'a str,
+    /// Attached fields.
+    pub fields: &'a [Field],
+}
+
+/// The receiver side of the trace facility.
+pub trait Subscriber: Send + Sync {
+    /// Called once per event/span-enter/span-exit.
+    fn on_event(&self, event: &Event<'_>);
+}
+
+/// Installs `sub` as the global subscriber and enables tracing.
+pub fn install(sub: Arc<dyn Subscriber>) {
+    *subscriber_slot().write().unwrap() = Some(sub);
+    TRACE_ON.store(true, Ordering::Release);
+}
+
+/// Removes the global subscriber and disables tracing.
+pub fn uninstall() {
+    TRACE_ON.store(false, Ordering::Release);
+    *subscriber_slot().write().unwrap() = None;
+}
+
+/// The macro fast path: true when a subscriber is installed.
+#[inline(always)]
+pub fn enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Delivers one record to the installed subscriber (macro slow path).
+pub fn emit(kind: Kind, name: &str, fields: Vec<Field>) {
+    if let Some(sub) = subscriber_slot().read().unwrap().as_ref() {
+        sub.on_event(&Event { kind, name, fields: &fields });
+    }
+}
+
+/// The guard returned by [`crate::span!`]: emits `SpanExit` with a
+/// `dur_us` field when dropped.
+pub struct SpanGuard {
+    state: Option<(&'static str, Instant, Vec<Field>)>,
+}
+
+impl SpanGuard {
+    /// Opens a live span (tracing enabled at the call site).
+    pub fn enter(name: &'static str, fields: Vec<Field>) -> Self {
+        emit(Kind::SpanEnter, name, fields.clone());
+        SpanGuard { state: Some((name, Instant::now(), fields)) }
+    }
+
+    /// The no-op guard used when tracing is disabled.
+    pub fn disabled() -> Self {
+        SpanGuard { state: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, start, mut fields)) = self.state.take() {
+            let dur_us = start.elapsed().as_secs_f64() * 1e6;
+            fields.push(Field::display("dur_us", &format_args!("{dur_us:.1}")));
+            emit(Kind::SpanExit, name, fields);
+        }
+    }
+}
+
+fn render(event: &Event<'_>) -> String {
+    let mut line = String::with_capacity(64);
+    match event.kind {
+        Kind::Event => line.push_str("event "),
+        Kind::SpanEnter => line.push_str("enter "),
+        Kind::SpanExit => line.push_str("exit  "),
+    }
+    line.push_str(event.name);
+    for f in event.fields {
+        line.push(' ');
+        line.push_str(f.key);
+        line.push('=');
+        line.push_str(&f.value);
+    }
+    line
+}
+
+/// A subscriber that prints human-readable lines to stderr (the
+/// `paper --trace` sink and the probe examples' output path).
+#[derive(Default)]
+pub struct StderrSubscriber;
+
+impl Subscriber for StderrSubscriber {
+    fn on_event(&self, event: &Event<'_>) {
+        eprintln!("[trace] {}", render(event));
+    }
+}
+
+/// A subscriber that collects rendered lines in memory (tests and the
+/// probe examples use it to assert on / print what was traced).
+#[derive(Default)]
+pub struct CollectingSubscriber {
+    lines: Mutex<Vec<String>>,
+}
+
+impl CollectingSubscriber {
+    /// Takes all lines collected so far.
+    pub fn take(&self) -> Vec<String> {
+        std::mem::take(&mut self.lines.lock().unwrap())
+    }
+}
+
+impl Subscriber for CollectingSubscriber {
+    fn on_event(&self, event: &Event<'_>) {
+        self.lines.lock().unwrap().push(render(event));
+    }
+}
+
+/// Serializes tests that manipulate the global subscriber.
+#[doc(hidden)]
+pub fn tests_serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_times_and_renders() {
+        let _guard = tests_serial();
+        let sub = Arc::new(CollectingSubscriber::default());
+        install(sub.clone());
+        {
+            let _s = SpanGuard::enter("t.span", vec![Field::display("k", &7)]);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        uninstall();
+        let lines = sub.take();
+        assert_eq!(lines.len(), 2);
+        let exit = &lines[1];
+        let dur: f64 = exit
+            .split("dur_us=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(dur >= 1000.0, "span duration {dur} µs");
+        assert!(exit.contains("k=7"));
+    }
+
+    #[test]
+    fn disabled_guard_emits_nothing() {
+        let _guard = tests_serial();
+        uninstall();
+        let sub = Arc::new(CollectingSubscriber::default());
+        {
+            let _s = SpanGuard::disabled();
+        }
+        assert!(sub.take().is_empty());
+    }
+}

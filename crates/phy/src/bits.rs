@@ -33,24 +33,14 @@ pub fn bytes_to_bits_msb(bytes: &[u8]) -> Vec<u8> {
 /// zero-padded in the high positions.
 pub fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
     bits.chunks(8)
-        .map(|chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .fold(0u8, |acc, (i, &b)| acc | ((b & 1) << i))
-        })
+        .map(|chunk| chunk.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | ((b & 1) << i)))
         .collect()
 }
 
 /// Packs bits into bytes, MSB-first.
 pub fn bits_to_bytes_msb(bits: &[u8]) -> Vec<u8> {
     bits.chunks(8)
-        .map(|chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .fold(0u8, |acc, (i, &b)| acc | ((b & 1) << (7 - i)))
-        })
+        .map(|chunk| chunk.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | ((b & 1) << (7 - i))))
         .collect()
 }
 

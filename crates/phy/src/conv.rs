@@ -43,7 +43,7 @@ pub fn viterbi_decode(coded: &[u8]) -> Vec<u8> {
 /// erased positions contribute no branch metric, which is how punctured
 /// streams should be decoded.
 pub fn viterbi_decode_erasures(coded: &[i8]) -> Vec<u8> {
-    assert!(coded.len() % 2 == 0, "rate-1/2 coded stream must have even length");
+    assert!(coded.len().is_multiple_of(2), "rate-1/2 coded stream must have even length");
     let steps = coded.len() / 2;
     if steps == 0 {
         return Vec::new();
@@ -97,12 +97,7 @@ pub fn viterbi_decode_erasures(coded: &[i8]) -> Vec<u8> {
     }
 
     // Traceback from the best final state.
-    let mut state = metric
-        .iter()
-        .enumerate()
-        .min_by_key(|&(_, &m)| m)
-        .map(|(s, _)| s)
-        .unwrap_or(0);
+    let mut state = metric.iter().enumerate().min_by_key(|&(_, &m)| m).map(|(s, _)| s).unwrap_or(0);
     let mut decoded = vec![0u8; steps];
     for t in (0..steps).rev() {
         let (prev, input) = survivors[t][state];
@@ -146,12 +141,7 @@ impl Puncture {
 /// Punctures a rate-1/2 coded stream.
 pub fn puncture(coded: &[u8], p: Puncture) -> Vec<u8> {
     let pat = p.pattern();
-    coded
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| pat[i % pat.len()])
-        .map(|(_, &b)| b)
-        .collect()
+    coded.iter().enumerate().filter(|(i, _)| pat[i % pat.len()]).map(|(_, &b)| b).collect()
 }
 
 /// Depunctures into a rate-1/2 erasure stream (-1 marks punctured

@@ -160,10 +160,8 @@ mod tests {
     fn bitwise_matches_bytewise_for_unreflected() {
         let crc = Crc::ccitt_ffff();
         let data = b"multiscatter";
-        let bits: Vec<u8> = data
-            .iter()
-            .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1))
-            .collect();
+        let bits: Vec<u8> =
+            data.iter().flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1)).collect();
         assert_eq!(crc.compute_bits(&bits), crc.compute(data));
     }
 }

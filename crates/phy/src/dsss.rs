@@ -87,11 +87,7 @@ pub fn cck_codeword(phi1: f64, phi2: f64, phi3: f64, phi4: f64) -> [Complex64; 8
 /// φ2 = d2·π + π/2, φ3 = 0, φ4 = d3·π.
 pub fn cck55_phases(d2: u8, d3: u8) -> (f64, f64, f64) {
     use std::f64::consts::{FRAC_PI_2, PI};
-    (
-        (d2 & 1) as f64 * PI + FRAC_PI_2,
-        0.0,
-        (d3 & 1) as f64 * PI,
-    )
+    ((d2 & 1) as f64 * PI + FRAC_PI_2, 0.0, (d3 & 1) as f64 * PI)
 }
 
 /// CCK-11 phase assignment: (d2,d3)→φ2, (d4,d5)→φ3, (d6,d7)→φ4 via the
@@ -120,14 +116,7 @@ pub fn cck55_candidates() -> Vec<((u8, u8), [Complex64; 8])> {
 pub fn cck11_candidates() -> Vec<([u8; 6], [Complex64; 8])> {
     let mut out = Vec::with_capacity(64);
     for v in 0..64u8 {
-        let d = [
-            (v >> 5) & 1,
-            (v >> 4) & 1,
-            (v >> 3) & 1,
-            (v >> 2) & 1,
-            (v >> 1) & 1,
-            v & 1,
-        ];
+        let d = [(v >> 5) & 1, (v >> 4) & 1, (v >> 3) & 1, (v >> 2) & 1, (v >> 1) & 1, v & 1];
         let (p2, p3, p4) = cck11_phases(&d);
         out.push((d, cck_codeword(0.0, p2, p3, p4)));
     }
@@ -155,9 +144,7 @@ mod tests {
         let peak: f64 = BARKER11.iter().map(|&b| b * b).sum();
         assert_eq!(peak, 11.0);
         for shift in 1..11 {
-            let side: f64 = (0..11 - shift)
-                .map(|i| BARKER11[i] * BARKER11[i + shift])
-                .sum();
+            let side: f64 = (0..11 - shift).map(|i| BARKER11[i] * BARKER11[i + shift]).sum();
             assert!(side.abs() <= 1.0 + 1e-12, "sidelobe {side} at shift {shift}");
         }
     }
@@ -170,7 +157,7 @@ mod tests {
             let z = barker_despread(&chips);
             assert!((z.abs() - 11.0).abs() < 1e-9);
             let err = (z.arg() - phase).rem_euclid(std::f64::consts::TAU);
-            assert!(err < 1e-9 || err > std::f64::consts::TAU - 1e-9);
+            assert!(!(1e-9..=std::f64::consts::TAU - 1e-9).contains(&err));
         }
     }
 

@@ -77,12 +77,13 @@ impl Gfsk {
         let mut freq = Vec::with_capacity(bits.len() * sps);
         for &b in bits {
             let v = if b & 1 == 1 { 1.0 } else { -1.0 };
-            freq.extend(std::iter::repeat(v).take(sps));
+            freq.extend(std::iter::repeat_n(v, sps));
         }
         // Gaussian shaping of the frequency pulse.
         let shaped = self.pulse.filter_same_real(&freq);
         // Phase integration: dφ = 2π·f_dev·v / fs.
-        let k = std::f64::consts::TAU * self.config.deviation_hz() / self.config.sample_rate().as_hz();
+        let k =
+            std::f64::consts::TAU * self.config.deviation_hz() / self.config.sample_rate().as_hz();
         let mut phase = 0.0;
         let samples = shaped
             .iter()
@@ -108,7 +109,12 @@ impl Gfsk {
     /// Demodulates bits from a waveform given the bit-aligned start
     /// sample. Returns one bit per symbol plus the mean per-bit frequency
     /// (rad/sample) for the overlay decoder's FSK comparisons.
-    pub fn demodulate(&self, samples: &[Complex64], start: usize, n_bits: usize) -> (Vec<u8>, Vec<f64>) {
+    pub fn demodulate(
+        &self,
+        samples: &[Complex64],
+        start: usize,
+        n_bits: usize,
+    ) -> (Vec<u8>, Vec<f64>) {
         let sps = self.config.sps;
         let disc = self.discriminate(samples);
         let mut bits = Vec::with_capacity(n_bits);
@@ -140,7 +146,7 @@ impl Gfsk {
             .iter()
             .flat_map(|&b| {
                 let v = if b & 1 == 1 { 1.0 } else { -1.0 };
-                std::iter::repeat(v).take(sps)
+                std::iter::repeat_n(v, sps)
             })
             .collect();
         if disc.len() < template.len() {
@@ -190,7 +196,7 @@ mod tests {
         // Alternating bits reach roughly ±ISI-reduced deviation; a run of
         // 1s reaches full +250 kHz.
         let g = Gfsk::new(GfskConfig::default());
-        let tx = g.modulate(&vec![1u8; 32]);
+        let tx = g.modulate(&[1u8; 32]);
         let disc = g.discriminate(tx.samples());
         let mid = disc[100];
         let expect = std::f64::consts::TAU * 250e3 / 8e6;

@@ -40,17 +40,13 @@ pub fn deinterleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
 /// Interleaves a multi-symbol stream symbol by symbol.
 pub fn interleave_stream(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
     assert_eq!(bits.len() % n_cbps, 0, "stream must be whole symbols");
-    bits.chunks(n_cbps)
-        .flat_map(|sym| interleave(sym, n_cbps, n_bpsc))
-        .collect()
+    bits.chunks(n_cbps).flat_map(|sym| interleave(sym, n_cbps, n_bpsc)).collect()
 }
 
 /// Deinterleaves a multi-symbol stream symbol by symbol.
 pub fn deinterleave_stream(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
     assert_eq!(bits.len() % n_cbps, 0, "stream must be whole symbols");
-    bits.chunks(n_cbps)
-        .flat_map(|sym| deinterleave(sym, n_cbps, n_bpsc))
-        .collect()
+    bits.chunks(n_cbps).flat_map(|sym| deinterleave(sym, n_cbps, n_bpsc)).collect()
 }
 
 #[cfg(test)]

@@ -19,13 +19,13 @@ pub use protocol::{DecodeError, Protocol};
 pub mod ble;
 pub mod conv;
 pub mod crc;
-pub mod interleave;
-pub mod scramble;
 pub mod dsss;
 pub mod gfsk;
+pub mod interleave;
 pub mod ofdm;
 pub mod protocol;
+pub mod scramble;
 pub mod symbols;
 pub mod wifi_b;
-pub mod zigbee;
 pub mod wifi_n;
+pub mod zigbee;

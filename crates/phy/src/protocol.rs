@@ -124,10 +124,8 @@ mod tests {
     fn detection_fields() {
         // BLE preamble is the shortest (8 us) — this is what forces the
         // common template window to 8 us at full rate (paper §2.2.2).
-        let min = Protocol::ALL
-            .iter()
-            .map(|p| p.detection_field_seconds())
-            .fold(f64::INFINITY, f64::min);
+        let min =
+            Protocol::ALL.iter().map(|p| p.detection_field_seconds()).fold(f64::INFINITY, f64::min);
         assert_eq!(min, 8e-6);
         assert_eq!(Protocol::WifiB.detection_field_seconds(), 144e-6);
     }

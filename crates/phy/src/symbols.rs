@@ -108,9 +108,8 @@ mod tests {
     fn unit_average_power() {
         let mut rng = StdRng::seed_from_u64(9);
         for c in [Constellation::Bpsk, Constellation::Qpsk, Constellation::Qam16] {
-            let bits: Vec<u8> = (0..c.bits_per_symbol() * 4096)
-                .map(|_| rng.gen_range(0..=1) as u8)
-                .collect();
+            let bits: Vec<u8> =
+                (0..c.bits_per_symbol() * 4096).map(|_| rng.gen_range(0..=1) as u8).collect();
             let syms = c.map_stream(&bits);
             let p: f64 = syms.iter().map(|s| s.norm_sqr()).sum::<f64>() / syms.len() as f64;
             assert!((p - 1.0).abs() < 0.05, "{c:?} power {p}");
@@ -121,9 +120,8 @@ mod tests {
     fn map_demap_round_trip() {
         let mut rng = StdRng::seed_from_u64(10);
         for c in [Constellation::Bpsk, Constellation::Qpsk, Constellation::Qam16] {
-            let bits: Vec<u8> = (0..c.bits_per_symbol() * 256)
-                .map(|_| rng.gen_range(0..=1) as u8)
-                .collect();
+            let bits: Vec<u8> =
+                (0..c.bits_per_symbol() * 256).map(|_| rng.gen_range(0..=1) as u8).collect();
             let syms = c.map_stream(&bits);
             assert_eq!(c.demap_stream(&syms), bits);
         }

@@ -9,8 +9,8 @@
 
 use crate::crc::Crc;
 use crate::dsss::{
-    barker_despread, barker_spread, cck11_candidates, cck11_phases, cck55_candidates,
-    cck55_phases, cck_codeword, cck_correlate, dbpsk_phase, dqpsk_demap, dqpsk_phase, CHIP_RATE,
+    barker_despread, barker_spread, cck11_candidates, cck11_phases, cck55_candidates, cck55_phases,
+    cck_codeword, cck_correlate, dbpsk_phase, dqpsk_demap, dqpsk_phase, CHIP_RATE,
 };
 use crate::protocol::DecodeError;
 use crate::scramble::Scrambler11b;
@@ -185,7 +185,7 @@ impl WifiBModulator {
             (LONG_SYNC_BITS, 1u8, SFD_LONG)
         };
         let mut bits = Vec::with_capacity(sync_bits + 16 + 48);
-        bits.extend(std::iter::repeat(sync_val).take(sync_bits));
+        bits.extend(std::iter::repeat_n(sync_val, sync_bits));
         // SFD, LSB-first.
         for i in 0..16 {
             bits.push(((sfd >> i) & 1) as u8);
@@ -196,9 +196,8 @@ impl WifiBModulator {
         for i in 0..8 {
             header.push((signal >> i) & 1);
         }
-        header.extend(std::iter::repeat(0u8).take(8)); // SERVICE = 0
-        let micros =
-            (psdu_bits_len as f64 / self.config.rate.bps() * 1e6).ceil() as u16;
+        header.extend(std::iter::repeat_n(0u8, 8)); // SERVICE = 0
+        let micros = (psdu_bits_len as f64 / self.config.rate.bps() * 1e6).ceil() as u16;
         for i in 0..16 {
             header.push(((micros >> i) & 1) as u8);
         }
@@ -220,7 +219,7 @@ impl WifiBModulator {
         // Pad payload to whole symbols.
         let bps = self.config.rate.bits_per_symbol();
         let mut payload = psdu_bits.to_vec();
-        while payload.len() % bps != 0 {
+        while !payload.len().is_multiple_of(bps) {
             payload.push(0);
         }
         let payload_scrambled = scrambler.scramble(&payload);
@@ -302,7 +301,7 @@ impl WifiBModulator {
         let mut spread = Vec::with_capacity(productive_units.len() * kappa);
         for unit in productive_units.chunks(b) {
             spread.extend_from_slice(unit);
-            spread.extend(std::iter::repeat(0u8).take((kappa - 1) * b));
+            spread.extend(std::iter::repeat_n(0u8, (kappa - 1) * b));
         }
         self.modulate(&spread)
     }
@@ -424,19 +423,12 @@ impl WifiBDemodulator {
             return Err(DecodeError::Truncated);
         }
         let header = &descrambled[header_at..header_at + 48];
-        let crc_rx = header[32..48]
-            .iter()
-            .fold(0u16, |acc, &b| (acc << 1) | b as u16);
+        let crc_rx = header[32..48].iter().fold(0u16, |acc, &b| (acc << 1) | b as u16);
         let crc_ok = Crc::ccitt_ffff().compute_bits(&header[..32]) as u16 == crc_rx;
-        let signal = header[..8]
-            .iter()
-            .enumerate()
-            .fold(0u8, |acc, (i, &b)| acc | (b << i));
+        let signal = header[..8].iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (b << i));
         let rate = DsssRate::from_signal_field(signal).ok_or(DecodeError::HeaderInvalid)?;
-        let micros = header[16..32]
-            .iter()
-            .enumerate()
-            .fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i));
+        let micros =
+            header[16..32].iter().enumerate().fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i));
 
         // Payload starts after the header: symbol index in the raw stream.
         // raw[i] is the differential decision between despread symbols i
@@ -450,8 +442,8 @@ impl WifiBDemodulator {
         // (CCK); clamp to what the buffer actually holds.
         let sym_len = rate.chips_per_symbol() * spc;
         let available = samples.len().saturating_sub(payload_start) / sym_len;
-        let n_symbols = ((n_payload_bits / rate.bits_per_symbol() as f64).floor() as usize)
-            .min(available);
+        let n_symbols =
+            ((n_payload_bits / rate.bits_per_symbol() as f64).floor() as usize).min(available);
 
         let (raw_symbol_bits, symbol_points) =
             self.demod_payload(samples, payload_start, rate, n_symbols)?;
@@ -489,9 +481,7 @@ impl WifiBDemodulator {
         let sym_len = rate.chips_per_symbol() * spc;
         let mut prev_phase = {
             let pre_start = start.checked_sub(11 * spc).ok_or(DecodeError::SyncNotFound)?;
-            self.despread_at(samples, pre_start)
-                .ok_or(DecodeError::Truncated)?
-                .arg()
+            self.despread_at(samples, pre_start).ok_or(DecodeError::Truncated)?.arg()
         };
         match rate {
             DsssRate::R1M | DsssRate::R2M => {
@@ -584,10 +574,7 @@ fn wrap_pi(phase: f64) -> f64 {
     p
 }
 
-fn best_cck(
-    chips: &[Complex64],
-    cands: &[((u8, u8), [Complex64; 8])],
-) -> ((u8, u8), Complex64) {
+fn best_cck(chips: &[Complex64], cands: &[((u8, u8), [Complex64; 8])]) -> ((u8, u8), Complex64) {
     let mut best = (cands[0].0, Complex64::ZERO);
     let mut best_mag = -1.0;
     for (d, cw) in cands {
@@ -741,9 +728,7 @@ mod tests {
         let noise: Vec<Complex64> = (0..20000)
             .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
-        assert!(demod
-            .demodulate(&IqBuf::new(noise, SampleRate::mhz(22.0)))
-            .is_err());
+        assert!(demod.demodulate(&IqBuf::new(noise, SampleRate::mhz(22.0))).is_err());
     }
 
     #[test]

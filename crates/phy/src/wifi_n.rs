@@ -190,7 +190,7 @@ impl WifiNModulator {
         for i in 0..8 {
             bits.push((ck >> i) & 1);
         }
-        bits.extend(std::iter::repeat(0u8).take(48 - bits.len())); // tail+pad
+        bits.extend(std::iter::repeat_n(0u8, 48 - bits.len())); // tail+pad
         bits
     }
 
@@ -226,7 +226,7 @@ impl WifiNModulator {
         let mut data = vec![0u8; 16];
         data.extend_from_slice(psdu_bits);
         data.extend_from_slice(&[0; 6]);
-        while data.len() % n_dbps != 0 {
+        while !data.len().is_multiple_of(n_dbps) {
             data.push(0);
         }
         let mut scrambled = scramble_11a(&data, 0x5D);
@@ -238,7 +238,8 @@ impl WifiNModulator {
         }
         let coded = puncture(&bcc_encode(&scrambled), self.config.mcs.puncture());
         let n_cbps = self.config.mcs.n_cbps();
-        let inter = interleave_stream(&coded, n_cbps, self.config.mcs.constellation().bits_per_symbol());
+        let inter =
+            interleave_stream(&coded, n_cbps, self.config.mcs.constellation().bits_per_symbol());
         let c = self.config.mcs.constellation();
         for (s, chunk) in inter.chunks(n_cbps).enumerate() {
             let points = c.map_stream(chunk);
@@ -283,8 +284,7 @@ impl WifiNModulator {
             s.extend(self.sig_symbol(&ht[..24], 1));
             s.extend(self.sig_symbol(&ht[24..48], 2));
             s.extend(self.eng.assemble_from_seq(&stf_seq()));
-            let ltf_f: Vec<Complex64> =
-                LTF_SEQ.iter().map(|&l| Complex64::new(l, 0.0)).collect();
+            let ltf_f: Vec<Complex64> = LTF_SEQ.iter().map(|&l| Complex64::new(l, 0.0)).collect();
             s.extend(self.eng.assemble_from_seq(&ltf_f));
             s
         };
@@ -344,7 +344,12 @@ impl WifiNDemodulator {
         }
     }
 
-    fn decode_sig_symbol(&self, samples: &[Complex64], chan: &[Complex64], pidx: usize) -> Option<Vec<u8>> {
+    fn decode_sig_symbol(
+        &self,
+        samples: &[Complex64],
+        chan: &[Complex64],
+        pidx: usize,
+    ) -> Option<Vec<u8>> {
         if samples.len() < SYM_LEN {
             return None;
         }
@@ -455,24 +460,15 @@ impl WifiNDemodulator {
         let lsig_at = t0 + LEGACY_TRAIN_LEN;
         let ht1_at = lsig_at + SYM_LEN;
         let ht2_at = ht1_at + SYM_LEN;
-        let ht1 = self
-            .decode_sig_symbol(&samples[ht1_at..], &chan, 1)
-            .ok_or(DecodeError::Truncated)?;
-        let ht2 = self
-            .decode_sig_symbol(&samples[ht2_at..], &chan, 2)
-            .ok_or(DecodeError::Truncated)?;
+        let ht1 =
+            self.decode_sig_symbol(&samples[ht1_at..], &chan, 1).ok_or(DecodeError::Truncated)?;
+        let ht2 =
+            self.decode_sig_symbol(&samples[ht2_at..], &chan, 2).ok_or(DecodeError::Truncated)?;
         let mut ht = ht1;
         ht.extend(ht2);
         let mcs_idx = ht[..8].iter().enumerate().fold(0u8, |a, (i, &b)| a | (b << i));
-        let length = ht[8..24]
-            .iter()
-            .enumerate()
-            .fold(0u32, |a, (i, &b)| a | ((b as u32) << i));
-        let sum: u32 = ht[..24]
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u32) << (i % 8))
-            .sum();
+        let length = ht[8..24].iter().enumerate().fold(0u32, |a, (i, &b)| a | ((b as u32) << i));
+        let sum: u32 = ht[..24].iter().enumerate().map(|(i, &b)| (b as u32) << (i % 8)).sum();
         let htsig_ok = (sum & 0xFF) as u8
             == ht[24..32].iter().enumerate().fold(0u8, |a, (i, &b)| a | (b << i));
         let mcs = Mcs::from_index(mcs_idx).ok_or(DecodeError::HeaderInvalid)?;
@@ -598,10 +594,8 @@ mod tests {
     fn ofdm_papr_is_high() {
         // OFDM's envelope structure — high PAPR — is one of the features
         // the tag's identifier keys on (Fig. 5a).
-        let tx = WifiNModulator::new(WifiNConfig::default()).modulate(&random_bits(
-            &mut StdRng::seed_from_u64(35),
-            512,
-        ));
+        let tx = WifiNModulator::new(WifiNConfig::default())
+            .modulate(&random_bits(&mut StdRng::seed_from_u64(35), 512));
         assert!(tx.papr() > 2.0, "papr {}", tx.papr());
     }
 

@@ -20,8 +20,7 @@ pub const SFD: u8 = 0xA7;
 /// The base PN sequence for symbol 0 (c0 first), per 802.15.4-2015
 /// Table 12-1.
 pub const PN_BASE: [u8; 32] = [
-    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1,
-    1, 0,
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
 ];
 
 /// Builds the 16-entry PN table: symbols 1–7 are right-rotations of the
@@ -101,7 +100,7 @@ pub struct ZigBeeModulator {
 impl ZigBeeModulator {
     /// Creates a modulator.
     pub fn new(config: ZigBeeConfig) -> Self {
-        assert!(config.samples_per_chip >= 2 && config.samples_per_chip % 2 == 0);
+        assert!(config.samples_per_chip >= 2 && config.samples_per_chip.is_multiple_of(2));
         ZigBeeModulator { config, pn: pn_table() }
     }
 
@@ -122,10 +121,7 @@ impl ZigBeeModulator {
 
     /// Converts 4-bit symbols back to bytes (low nibble first).
     pub fn symbols_to_bytes(symbols: &[u8]) -> Vec<u8> {
-        symbols
-            .chunks(2)
-            .map(|p| (p[0] & 0x0F) | (p.get(1).copied().unwrap_or(0) << 4))
-            .collect()
+        symbols.chunks(2).map(|p| (p[0] & 0x0F) | (p.get(1).copied().unwrap_or(0) << 4)).collect()
     }
 
     /// The full chip stream (±1) for a symbol sequence.
@@ -152,17 +148,12 @@ impl ZigBeeModulator {
             let target = if k % 2 == 0 { &mut i_acc } else { &mut q_acc };
             for t in 0..pulse_len {
                 if start + t < n {
-                    let shape =
-                        (std::f64::consts::PI * (t as f64 + 0.5) / pulse_len as f64).sin();
+                    let shape = (std::f64::consts::PI * (t as f64 + 0.5) / pulse_len as f64).sin();
                     target[start + t] += chip as f64 * shape;
                 }
             }
         }
-        let samples = i_acc
-            .iter()
-            .zip(&q_acc)
-            .map(|(&i, &q)| Complex64::new(i, q))
-            .collect();
+        let samples = i_acc.iter().zip(&q_acc).map(|(&i, &q)| Complex64::new(i, q)).collect();
         IqBuf::new(samples, self.config.sample_rate())
     }
 
@@ -195,7 +186,7 @@ impl ZigBeeModulator {
         let n_bytes = (productive_symbols.len() * kappa).div_ceil(2).min(127);
         symbols.extend(Self::bytes_to_symbols(&[n_bytes as u8]));
         for &s in productive_symbols {
-            symbols.extend(std::iter::repeat(s & 0x0F).take(kappa));
+            symbols.extend(std::iter::repeat_n(s & 0x0F, kappa));
         }
         self.chips_to_iq(&self.symbols_to_chips(&symbols))
     }
@@ -289,9 +280,8 @@ impl ZigBeeDemodulator {
         if start + CHIPS_PER_SYMBOL * spc / 2 > samples.len() {
             return None;
         }
-        let get = |idx: usize| -> Complex64 {
-            samples.get(idx).copied().unwrap_or(Complex64::ZERO)
-        };
+        let get =
+            |idx: usize| -> Complex64 { samples.get(idx).copied().unwrap_or(Complex64::ZERO) };
         let rot = Complex64::cis(-phase);
         let mut chips = Vec::with_capacity(CHIPS_PER_SYMBOL);
         // Matched-filter against the half-sine: integrate the middle of
@@ -420,7 +410,7 @@ impl ZigBeeDemodulator {
         let (s0, _) = read_symbol(0).ok_or(DecodeError::Truncated)?;
         let (s1, _) = read_symbol(1).ok_or(DecodeError::Truncated)?;
         let length = (ZigBeeModulator::symbols_to_bytes(&[s0, s1])[0] & 0x7F) as usize;
-        if length < 2 || length > 127 {
+        if !(2..=127).contains(&length) {
             return Err(DecodeError::HeaderInvalid);
         }
 
@@ -498,11 +488,7 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let c: i32 = pn[i]
-                    .iter()
-                    .zip(pn[j].iter())
-                    .map(|(&a, &b)| (a * b) as i32)
-                    .sum();
+                let c: i32 = pn[i].iter().zip(pn[j].iter()).map(|(&a, &b)| (a * b) as i32).sum();
                 assert!(c.abs() <= 8, "rotations {i},{j} correlate {c}");
             }
         }
@@ -557,7 +543,7 @@ mod tests {
         // SHR (10 sym) + PHR (2 sym) + (20+2 FCS bytes → 44 sym), 16 µs
         // per symbol.
         let cfg = ZigBeeConfig::default();
-        let tx = ZigBeeModulator::new(cfg).modulate(&vec![0u8; 20]);
+        let tx = ZigBeeModulator::new(cfg).modulate(&[0u8; 20]);
         let want = (10 + 2 + 44) as f64 * 16e-6;
         assert!((tx.duration() - want).abs() < 1e-6, "duration {}", tx.duration());
     }
@@ -573,11 +559,8 @@ mod tests {
         for (s, &t) in map.iter().enumerate() {
             assert_ne!(s as u8, t, "symbol {s} maps to itself");
             let inverted: Vec<f64> = pn[s].iter().map(|&c| -c as f64).collect();
-            let best: f64 = inverted
-                .iter()
-                .zip(pn[t as usize].iter())
-                .map(|(&x, &p)| x * p as f64)
-                .sum();
+            let best: f64 =
+                inverted.iter().zip(pn[t as usize].iter()).map(|(&x, &p)| x * p as f64).sum();
             assert!((best - 8.0).abs() < 1e-9, "inversion of {s} matches {t} at {best}");
         }
     }
@@ -593,8 +576,7 @@ mod tests {
             let corr: f64 = chips.iter().zip(pn[s].iter()).map(|(&x, &p)| x * p as f64).sum();
             assert!((corr - 32.0).abs() < 1e-9);
             let flipped: Vec<f64> = chips.iter().map(|&c| -c).collect();
-            let corr2: f64 =
-                flipped.iter().zip(pn[s].iter()).map(|(&x, &p)| x * p as f64).sum();
+            let corr2: f64 = flipped.iter().zip(pn[s].iter()).map(|(&x, &p)| x * p as f64).sum();
             assert!((corr2 + 32.0).abs() < 1e-9);
         }
     }
@@ -672,6 +654,6 @@ mod tests {
     #[should_panic]
     fn oversize_psdu_rejected() {
         let cfg = ZigBeeConfig::default();
-        let _ = ZigBeeModulator::new(cfg).modulate(&vec![0u8; 126]);
+        let _ = ZigBeeModulator::new(cfg).modulate(&[0u8; 126]);
     }
 }

@@ -21,6 +21,39 @@ pub use link_wifi_n::WifiNOverlayLink;
 pub use link_zigbee::ZigBeeOverlayLink;
 pub use metrics::{BerCounter, ThroughputMeter};
 
+/// Records one decode attempt's outcome into the observability layer:
+/// `rx.decoded` / `rx.decode_err` counters, delivered tag-bit counter,
+/// and a structured trace event. No-op while observability is disabled.
+pub(crate) fn obs_decode_result(
+    protocol: &'static str,
+    result: &Result<OverlayDecoded, msc_phy::protocol::DecodeError>,
+) {
+    match result {
+        Ok(d) => {
+            if msc_obs::metrics::enabled() {
+                msc_obs::metrics::counter_add("rx.decoded", protocol, "decode", 1);
+                msc_obs::metrics::counter_add(
+                    "rx.tag_bits",
+                    protocol,
+                    "decode",
+                    d.tag.len() as u64,
+                );
+            }
+            msc_obs::event!(
+                "rx.decoded",
+                protocol = protocol,
+                productive = d.productive.len(),
+                tag = d.tag.len(),
+                header_ok = d.header_ok
+            );
+        }
+        Err(e) => {
+            msc_obs::metrics::counter_add("rx.decode_err", protocol, "decode", 1);
+            msc_obs::event!("rx.decode_err", protocol = protocol, err = ?e);
+        }
+    }
+}
+
 /// The outcome of overlay decoding one packet: productive data (bits, or
 /// 4-bit symbols for ZigBee) and tag bits, plus header integrity.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -7,8 +7,8 @@
 use crate::OverlayDecoded;
 use msc_core::overlay::{OverlayParams, BLE_TAG_SHIFT_HZ};
 use msc_dsp::IqBuf;
-use msc_phy::ble::{BleConfig, BleDemodulator, BleModulator};
 use msc_phy::bits::majority;
+use msc_phy::ble::{BleConfig, BleDemodulator, BleModulator};
 use msc_phy::protocol::DecodeError;
 
 /// One BLE overlay link.
@@ -44,6 +44,13 @@ impl BleOverlayLink {
     /// sequences to expect (carried by the experiment configuration; a
     /// deployed design would put it in the reference header).
     pub fn decode(&self, rx: &IqBuf, n_productive: usize) -> Result<OverlayDecoded, DecodeError> {
+        let _span = msc_obs::span!("rx.decode", protocol = "BLE");
+        let result = self.decode_inner(rx, n_productive);
+        crate::obs_decode_result("BLE", &result);
+        result
+    }
+
+    fn decode_inner(&self, rx: &IqBuf, n_productive: usize) -> Result<OverlayDecoded, DecodeError> {
         let demod = BleDemodulator::new(self.config.clone());
         let n_bits = n_productive * self.params.kappa;
         let (bits, freqs, _) = demod.demodulate_raw(rx, n_bits)?;
@@ -60,12 +67,10 @@ impl BleOverlayLink {
         for seq in 0..n_productive {
             let base = seq * kappa;
             productive.push(majority(&bits[base..base + gamma]));
-            let ref_freq: f64 =
-                freqs[base..base + gamma].iter().sum::<f64>() / gamma as f64;
+            let ref_freq: f64 = freqs[base..base + gamma].iter().sum::<f64>() / gamma as f64;
             for blk in 0..per_seq {
                 let start = base + gamma * (1 + blk);
-                let blk_freq: f64 =
-                    freqs[start..start + gamma].iter().sum::<f64>() / gamma as f64;
+                let blk_freq: f64 = freqs[start..start + gamma].iter().sum::<f64>() / gamma as f64;
                 tag.push(u8::from(ref_freq - blk_freq > shift / 2.0));
             }
         }

@@ -57,8 +57,7 @@ impl WifiBOverlayLink {
     /// Tag bits one carrier of `n_productive_bits` productive bits can
     /// carry (each reference symbol holds `bits_per_symbol` of them).
     pub fn tag_capacity(&self, n_productive_bits: usize) -> usize {
-        n_productive_bits / self.config.rate.bits_per_symbol()
-            * self.params.tag_bits_per_sequence()
+        n_productive_bits / self.config.rate.bits_per_symbol() * self.params.tag_bits_per_sequence()
     }
 
     /// Decodes both data streams from a received waveform.
@@ -69,6 +68,13 @@ impl WifiBOverlayLink {
     /// flip into three payload-bit flips, which the walk below inverts
     /// causally, using the mask to know where flips are even possible.
     pub fn decode(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
+        let _span = msc_obs::span!("rx.decode", protocol = "802.11b");
+        let result = self.decode_inner(rx);
+        crate::obs_decode_result("802.11b", &result);
+        result
+    }
+
+    fn decode_inner(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
         let decoded = WifiBDemodulator::new(self.config.clone()).demodulate(rx)?;
         let psdu = &decoded.psdu_bits;
         let kappa = self.params.kappa;
@@ -161,11 +167,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run_link(
-        seed: u64,
-        n_prod: usize,
-        mode: Mode,
-    ) -> (Vec<u8>, Vec<u8>, OverlayDecoded) {
+    fn run_link(seed: u64, n_prod: usize, mode: Mode) -> (Vec<u8>, Vec<u8>, OverlayDecoded) {
         let mut rng = StdRng::seed_from_u64(seed);
         let params = params_for(Protocol::WifiB, mode);
         let link = WifiBOverlayLink::new(params);
@@ -201,21 +203,18 @@ mod tests {
     fn multirate_round_trips_dqpsk_and_cck() {
         use msc_phy::wifi_b::DsssRate;
         let mut rng = StdRng::seed_from_u64(145);
-        for (rate, sym_s) in [
-            (DsssRate::R2M, 1e-6),
-            (DsssRate::R5M5, 8.0 / 11e6),
-            (DsssRate::R11M, 8.0 / 11e6),
-        ] {
+        for (rate, sym_s) in
+            [(DsssRate::R2M, 1e-6), (DsssRate::R5M5, 8.0 / 11e6), (DsssRate::R11M, 8.0 / 11e6)]
+        {
             let params = params_for(Protocol::WifiB, Mode::Mode1);
             let link = WifiBOverlayLink::new(params).with_rate(rate);
             let b = rate.bits_per_symbol();
             let productive = random_bits(&mut rng, 8 * b); // 8 sequences
             let tag_bits = random_bits(&mut rng, link.tag_capacity(productive.len()));
             let carrier = link.make_carrier(&productive);
-            let tag = TagOverlayModulator::new(Protocol::WifiB, params)
-                .with_symbol_duration(sym_s);
-            let start = (payload_start_seconds(Protocol::WifiB) * carrier.rate().as_hz())
-                .round() as usize;
+            let tag = TagOverlayModulator::new(Protocol::WifiB, params).with_symbol_duration(sym_s);
+            let start =
+                (payload_start_seconds(Protocol::WifiB) * carrier.rate().as_hz()).round() as usize;
             let modulated = tag.modulate(&carrier, start, &tag_bits);
             let d = link.decode(&modulated).unwrap_or_else(|e| panic!("{rate:?}: {e:?}"));
             assert_eq!(d.productive, productive, "{rate:?} productive");

@@ -71,14 +71,20 @@ impl WifiNOverlayLink {
     /// flips just the first of the two axis bits).
     fn expected_flip_frac(&self) -> f64 {
         match self.mcs.constellation() {
-            msc_phy::symbols::Constellation::Bpsk
-            | msc_phy::symbols::Constellation::Qpsk => 1.0,
+            msc_phy::symbols::Constellation::Bpsk | msc_phy::symbols::Constellation::Qpsk => 1.0,
             msc_phy::symbols::Constellation::Qam16 => 0.5,
         }
     }
 
     /// Decodes both data streams.
     pub fn decode(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
+        let _span = msc_obs::span!("rx.decode", protocol = "802.11n");
+        let result = self.decode_inner(rx);
+        crate::obs_decode_result("802.11n", &result);
+        result
+    }
+
+    fn decode_inner(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
         let decoded = WifiNDemodulator::new().demodulate(rx)?;
         let syms = &decoded.raw_symbol_bits;
         let kappa = self.params.kappa;
@@ -102,10 +108,7 @@ impl WifiNOverlayLink {
                 *r = u8::from(ones * 2 >= gamma);
             }
             // Productive bit: does the reference match base or ~base?
-            let flips = mid
-                .clone()
-                .filter(|&i| ref_est[i] != base[i])
-                .count();
+            let flips = mid.clone().filter(|&i| ref_est[i] != base[i]).count();
             productive.push(u8::from(flips * 2 > mid.len()));
 
             // Tag bits: fraction of middle-half bits flipped vs the
@@ -141,7 +144,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run_link(seed: u64, n_prod: usize, mode: Mode, mcs: Mcs) -> (Vec<u8>, Vec<u8>, OverlayDecoded) {
+    fn run_link(
+        seed: u64,
+        n_prod: usize,
+        mode: Mode,
+        mcs: Mcs,
+    ) -> (Vec<u8>, Vec<u8>, OverlayDecoded) {
         let mut rng = StdRng::seed_from_u64(seed);
         let params = params_for(Protocol::WifiN, mode);
         let link = WifiNOverlayLink::new(params).with_mcs(mcs);

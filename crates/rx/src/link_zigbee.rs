@@ -44,6 +44,13 @@ impl ZigBeeOverlayLink {
 
     /// Decodes both streams: productive 4-bit symbols + tag bits.
     pub fn decode(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
+        let _span = msc_obs::span!("rx.decode", protocol = "ZigBee");
+        let result = self.decode_inner(rx);
+        crate::obs_decode_result("ZigBee", &result);
+        result
+    }
+
+    fn decode_inner(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
         let decoded = ZigBeeDemodulator::new(self.config).demodulate(rx)?;
         // Payload symbols follow the 2 PHR symbols.
         let chips = &decoded.raw_chips[2.min(decoded.raw_chips.len())..];
@@ -74,11 +81,7 @@ impl ZigBeeOverlayLink {
                 let mut corr = 0.0;
                 for g in 0..gamma {
                     let sym = &chips[seq * kappa + gamma * (1 + blk) + g];
-                    corr += sym
-                        .iter()
-                        .zip(ref_chips.iter())
-                        .map(|(&a, &b)| a * b)
-                        .sum::<f64>();
+                    corr += sym.iter().zip(ref_chips.iter()).map(|(&a, &b)| a * b).sum::<f64>();
                 }
                 tag.push(u8::from(corr < 0.0));
             }

@@ -29,6 +29,15 @@ impl BerCounter {
         self.packets += 1;
     }
 
+    /// Records one decoded packet by aggregate counts — `bits` compared,
+    /// `errors` of them wrong — for callers that track totals instead of
+    /// bit vectors (the deployment sweeps).
+    pub fn record_counts(&mut self, bits: usize, errors: usize) {
+        self.bits += bits as u64;
+        self.errors += errors.min(bits) as u64;
+        self.packets += 1;
+    }
+
     /// Records a packet that never decoded (all bits counted as errors
     /// for BER purposes, and as a packet loss for PER purposes).
     pub fn record_lost(&mut self, tx_bits: usize) {
@@ -64,6 +73,19 @@ impl BerCounter {
     /// Total packets seen.
     pub fn packets(&self) -> u64 {
         self.packets
+    }
+
+    /// Exports the counter's current BER / PER / totals into the global
+    /// observability registry under `(protocol, stage)`. No-op while
+    /// metrics are disabled.
+    pub fn export_obs(&self, protocol: &'static str, stage: &'static str) {
+        if !msc_obs::metrics::enabled() {
+            return;
+        }
+        msc_obs::metrics::gauge_set("rx.ber", protocol, stage, self.ber());
+        msc_obs::metrics::gauge_set("rx.per", protocol, stage, self.per());
+        msc_obs::metrics::gauge_set("rx.bits", protocol, stage, self.bits as f64);
+        msc_obs::metrics::gauge_set("rx.packets", protocol, stage, self.packets as f64);
     }
 }
 
@@ -103,6 +125,15 @@ impl ThroughputMeter {
     pub fn kbps(&self) -> f64 {
         self.bps() / 1e3
     }
+
+    /// Exports the meter's goodput into the global observability
+    /// registry under `(protocol, stage)`. No-op while disabled.
+    pub fn export_obs(&self, protocol: &'static str, stage: &'static str) {
+        if !msc_obs::metrics::enabled() {
+            return;
+        }
+        msc_obs::metrics::gauge_set("rx.goodput_bps", protocol, stage, self.bps());
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +157,32 @@ mod tests {
         assert!((c.ber() - 0.5).abs() < 1e-12);
         assert!((c.per() - 0.5).abs() < 1e-12);
         assert_eq!(c.packets(), 2);
+    }
+
+    #[test]
+    fn export_obs_writes_gauges() {
+        let _guard = msc_obs::metrics::tests_serial();
+        msc_obs::metrics::Registry::global().reset();
+        msc_obs::metrics::enable();
+        let mut c = BerCounter::new();
+        c.record(&[1, 0], &[1, 1]);
+        c.export_obs("BLE", "unit");
+        let mut t = ThroughputMeter::new();
+        t.add_bits(100);
+        t.add_time(1.0);
+        t.export_obs("BLE", "unit");
+        msc_obs::metrics::disable();
+        let snap = msc_obs::metrics::Registry::global().snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|r| r.key.name == name && r.key.protocol == "BLE")
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let msc_obs::metrics::Value::Gauge(ber) = get("rx.ber").value else { panic!() };
+        assert!((ber - 0.5).abs() < 1e-12);
+        let msc_obs::metrics::Value::Gauge(bps) = get("rx.goodput_bps").value else { panic!() };
+        assert!((bps - 100.0).abs() < 1e-9);
+        msc_obs::metrics::Registry::global().reset();
     }
 
     #[test]

@@ -1,4 +1,7 @@
 //! Scratch: decode success vs distance per protocol.
+//!
+//! Output goes through the msc-obs trace layer (stderr subscriber), one
+//! `probe.range` event per (protocol, distance) cell.
 use msc_core::overlay::Mode;
 use msc_phy::protocol::Protocol;
 use msc_sim::pipeline::{run_packet, AnyLink, Geometry};
@@ -6,10 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    msc_obs::trace::install(std::sync::Arc::new(msc_obs::trace::StderrSubscriber));
     let mut rng = StdRng::seed_from_u64(3);
     for p in Protocol::ALL {
         let link = AnyLink::new(p, Mode::Mode1);
-        print!("{:8}", p.label());
         for d in [4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0] {
             let geo = Geometry::los(d);
             let n = 8;
@@ -17,11 +20,19 @@ fn main() {
             let mut ber = 0.0;
             for _ in 0..n {
                 let out = run_packet(&mut rng, &link, &geo, Mode::Mode1, 16);
-                if out.decoded { ok += 1; }
+                if out.decoded {
+                    ok += 1;
+                }
                 ber += out.tag_ber();
             }
-            print!(" {d:3.0}m:{}/{n},b{:.2},s{:.0}", ok, ber / n as f64, geo.uplink_snr_db(p));
+            msc_obs::event!(
+                "probe.range",
+                protocol = p.label(),
+                d_m = d,
+                ok = format_args!("{ok}/{n}"),
+                tag_ber = format_args!("{:.2}", ber / n as f64),
+                snr_db = format_args!("{:.0}", geo.uplink_snr_db(p))
+            );
         }
-        println!();
     }
 }

@@ -23,6 +23,7 @@ use rand::SeedableRng;
 use std::io::Write;
 
 fn main() {
+    msc_obs::trace::install(std::sync::Arc::new(msc_obs::trace::StderrSubscriber));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(|s| s.as_str()).unwrap_or("envelopes");
     let path = args.get(1).cloned().unwrap_or_else(|| format!("{what}.csv"));
@@ -37,7 +38,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    println!("wrote {path}");
+    msc_obs::event!("dump.wrote", what = what, path = path);
 }
 
 fn dump_envelopes(out: &mut impl Write) {
@@ -86,8 +87,7 @@ fn dump_constellation(out: &mut impl Write) {
     let link = WifiNOverlayLink::new(params);
     let carrier = link.make_carrier(&[1, 0, 1, 1, 0, 1, 0, 0]);
     let tag = TagOverlayModulator::new(Protocol::WifiN, params);
-    let start =
-        (payload_start_seconds(Protocol::WifiN) * carrier.rate().as_hz()).round() as usize;
+    let start = (payload_start_seconds(Protocol::WifiN) * carrier.rate().as_hz()).round() as usize;
     let modulated = tag.modulate(&carrier, start, &[1, 0, 1, 0, 1, 0, 1, 0]);
     let dec = WifiNDemodulator::new().demodulate(&modulated).expect("decode");
     writeln!(out, "symbol,subcarrier,i,q").unwrap();

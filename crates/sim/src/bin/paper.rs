@@ -5,10 +5,19 @@
 //! cargo run -p msc-sim --release --bin paper -- <experiment> [n] [seed]
 //! cargo run -p msc-sim --release --bin paper -- all
 //! cargo run -p msc-sim --release --bin paper -- all --full   # larger Monte Carlo
+//! cargo run -p msc-sim --release --bin paper -- all --metrics-out out/
+//! cargo run -p msc-sim --release --bin paper -- fig13 --trace
 //! ```
+//!
+//! `--metrics-out <dir>` enables the observability layer and writes a
+//! run manifest (`manifest.json`), the full metric registry
+//! (`metrics.jsonl`, `metrics.csv`), and each experiment's table as
+//! JSON (`reports/<id>.json`). `--trace` streams structured trace
+//! events to stderr. Neither flag changes the default table output.
 
 use msc_sim::experiments as exp;
 use msc_sim::report::Report;
+use std::path::PathBuf;
 
 type Runner = fn(usize, u64) -> Report;
 
@@ -46,7 +55,9 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: paper <experiment|all|list> [n] [seed] [--full]");
+    eprintln!(
+        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--metrics-out <dir>]"
+    );
     eprintln!("experiments:");
     for (id, desc, _) in EXPERIMENTS {
         eprintln!("  {id:6} {desc}");
@@ -59,31 +70,97 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let full = args.iter().any(|a| a == "--full");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut full = false;
+    let mut trace = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--trace" => trace = true,
+            "--metrics-out" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--metrics-out needs a directory\n");
+                    usage();
+                };
+                metrics_out = Some(PathBuf::from(dir));
+            }
+            s if s.starts_with("--") => {
+                eprintln!("unknown flag: {s}\n");
+                usage();
+            }
+            s => positional.push(s.to_string()),
+        }
+    }
     let which = positional.first().map(|s| s.as_str()).unwrap_or("");
-    let n: usize = positional
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if full { 60 } else { 12 });
+    let n: usize =
+        positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(if full { 60 } else { 12 });
     let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    if trace {
+        msc_obs::trace::install(std::sync::Arc::new(msc_obs::trace::StderrSubscriber));
+    }
+    let mut manifest = if metrics_out.is_some() {
+        msc_obs::metrics::Registry::global().reset();
+        msc_obs::metrics::enable();
+        Some(msc_obs::RunManifest::start(std::path::Path::new("."), n, seed, full))
+    } else {
+        None
+    };
+
+    // Runs one experiment: ambient experiment label, wall-clock into the
+    // manifest, table JSON into <dir>/reports/.
+    let run_one = |id: &str, run: Runner, manifest: &mut Option<msc_obs::RunManifest>| {
+        msc_obs::metrics::set_experiment(id);
+        let t0 = std::time::Instant::now();
+        let report = run(n, seed);
+        let wall = t0.elapsed().as_secs_f64();
+        if let Some(m) = manifest.as_mut() {
+            m.record(id, wall, report.len());
+        }
+        if let Some(dir) = &metrics_out {
+            let path = dir.join("reports").join(format!("{id}.json"));
+            report
+                .write_json(&path)
+                .unwrap_or_else(|e| eprintln!("failed to write {}: {e}", path.display()));
+        }
+        (report, wall)
+    };
 
     match which {
         "list" => usage(),
         "all" => {
             for (id, _, run) in EXPERIMENTS {
-                let t0 = std::time::Instant::now();
-                let report = run(n, seed);
+                let (report, wall) = run_one(id, *run, &mut manifest);
                 println!("{}", report.render());
-                println!("  [{id} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+                println!("  [{id} done in {wall:.1}s]\n");
             }
         }
         other => {
-            let Some((_, _, run)) = EXPERIMENTS.iter().find(|(id, _, _)| *id == other) else {
+            let Some((id, _, run)) = EXPERIMENTS.iter().find(|(id, _, _)| *id == other) else {
                 eprintln!("unknown experiment: {other}\n");
                 usage();
             };
-            println!("{}", run(n, seed).render());
+            let (report, _) = run_one(id, *run, &mut manifest);
+            println!("{}", report.render());
         }
+    }
+
+    if let (Some(dir), Some(manifest)) = (&metrics_out, manifest) {
+        let snap = msc_obs::metrics::Registry::global().snapshot();
+        let write = |name: &str, body: String| {
+            let path = dir.join(name);
+            std::fs::write(&path, body)
+                .unwrap_or_else(|e| eprintln!("failed to write {}: {e}", path.display()));
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        write("metrics.jsonl", msc_obs::export::to_jsonl(&snap));
+        write("metrics.csv", msc_obs::export::to_csv(&snap));
+        manifest.write(dir).unwrap_or_else(|e| eprintln!("failed to write manifest: {e}"));
+        eprintln!("[obs] {} metrics + manifest + reports written to {}", snap.len(), dir.display());
     }
 }

@@ -102,10 +102,7 @@ pub fn run<R: Rng>(rng: &mut R, cfg: &EnergySimConfig) -> EnergySimResult {
             missed += 1;
         }
     }
-    let tag_bits: usize = ridden
-        .iter()
-        .map(|e| cfg.streams[e.stream].tag_bits_per_packet)
-        .sum();
+    let tag_bits: usize = ridden.iter().map(|e| cfg.streams[e.stream].tag_bits_per_packet).sum();
     let mean_exchange = if ridden.len() >= 2 {
         cfg.horizon_s / ridden.len() as f64
     } else if ridden.len() == 1 {

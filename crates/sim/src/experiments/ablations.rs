@@ -80,26 +80,20 @@ pub fn abl_gamma(n: usize, seed: u64) -> Report {
         let n_prod = 12;
         let cap = link.tag_capacity(n_prod);
         let tag = TagOverlayModulator::new(Protocol::ZigBee, params);
-        let start =
-            (payload_start_seconds(Protocol::ZigBee) * 8e6).round() as usize;
+        let start = (payload_start_seconds(Protocol::ZigBee) * 8e6).round() as usize;
         let mut cells = Vec::new();
         for snr in [6.0, 2.0, -2.0] {
             let mut errors = 0usize;
             let mut bits = 0usize;
             for _ in 0..n {
-                let productive: Vec<u8> =
-                    (0..n_prod).map(|_| rng.gen_range(0..16)).collect();
+                let productive: Vec<u8> = (0..n_prod).map(|_| rng.gen_range(0..16)).collect();
                 let tag_bits = random_bits(&mut rng, cap);
                 let carrier = link.make_carrier(&productive);
                 let modulated = tag.modulate(&carrier, start, &tag_bits);
                 let rx = apply_uplink(&mut rng, &modulated, snr, msc_channel::Fading::None);
                 match link.decode(&rx) {
                     Ok(d) => {
-                        errors += tag_bits
-                            .iter()
-                            .zip(d.tag.iter())
-                            .filter(|(a, b)| a != b)
-                            .count()
+                        errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count()
                     }
                     Err(_) => errors += cap,
                 }
@@ -115,7 +109,9 @@ pub fn abl_gamma(n: usize, seed: u64) -> Report {
             cap.to_string(),
         ]);
     }
-    report.note("Longer γ trades tag rate for SNR margin — the Miller-code intuition the paper cites.");
+    report.note(
+        "Longer γ trades tag rate for SNR margin — the Miller-code intuition the paper cites.",
+    );
     report
 }
 
@@ -171,11 +167,7 @@ pub fn abl_lag(n: usize, seed: u64) -> Report {
     for lag in [0usize, 2, 5, 10, 40] {
         let matcher = Matcher::new(bank.clone(), MatchMode::Quantized).with_lag_search(lag);
         let acc = blind_accuracy(&collect_scores(&matcher, &traces));
-        report.row(&[
-            lag.to_string(),
-            format!("{:.1}", lag as f64 / rate.as_msps()),
-            pct(acc),
-        ]);
+        report.row(&[lag.to_string(), format!("{:.1}", lag as f64 / rate.as_msps()), pct(acc)]);
     }
     report.note("A continuously-running correlator (generous radius) is what hardware implements; a single-point decision is brittle against detection jitter.");
     report
@@ -206,24 +198,16 @@ pub fn abl_cfo(n: usize, seed: u64) -> Report {
                 let (productive, carrier) = link.make_carrier(&mut rng, 12);
                 let cap = link.tag_capacity(12);
                 let tag_bits: Vec<u8> = (0..cap).map(|_| rng.gen_range(0..=1)).collect();
-                let modulator = msc_core::TagOverlayModulator::new(
-                    p,
-                    msc_core::overlay::params_for(p, mode),
-                );
-                let start = (msc_core::tag::payload_start_seconds(p)
-                    * carrier.rate().as_hz())
-                .round() as usize;
+                let modulator =
+                    msc_core::TagOverlayModulator::new(p, msc_core::overlay::params_for(p, mode));
+                let start = (msc_core::tag::payload_start_seconds(p) * carrier.rate().as_hz())
+                    .round() as usize;
                 let modulated = modulator.modulate(&carrier, start, &tag_bits);
-                let imp = Impairments::snr(15.0, msc_channel::Fading::None)
-                    .with_cfo(sign * cfo);
+                let imp = Impairments::snr(15.0, msc_channel::Fading::None).with_cfo(sign * cfo);
                 let rx = apply_uplink_impaired(&mut rng, &modulated, imp);
                 match link.decode(&rx, productive.len()) {
                     Ok(d) => {
-                        errors += tag_bits
-                            .iter()
-                            .zip(d.tag.iter())
-                            .filter(|(a, b)| a != b)
-                            .count()
+                        errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count()
                     }
                     Err(_) => errors += cap,
                 }
@@ -245,7 +229,8 @@ mod tests {
     fn bits_sweep_shows_the_paper_tradeoff() {
         let rendered = abl_bits(12, 42).render();
         // The 1-bit row must fit the FPGA; the full row must not.
-        let row = |p: &str| rendered.lines().find(|l| l.trim_start().starts_with(p)).unwrap().to_string();
+        let row =
+            |p: &str| rendered.lines().find(|l| l.trim_start().starts_with(p)).unwrap().to_string();
         assert!(row("1-bit").contains("true"));
         assert!(row("full").contains("false"));
     }
@@ -297,10 +282,7 @@ mod tests {
         let rendered = abl_cfo(6, 42).render();
         // At ±20 kHz every protocol stays under 15% tag BER.
         for p in ["802.11n", "802.11b", "BLE", "ZigBee"] {
-            let row = rendered
-                .lines()
-                .find(|l| l.trim_start().starts_with(p))
-                .unwrap();
+            let row = rendered.lines().find(|l| l.trim_start().starts_with(p)).unwrap();
             let cell: f64 = row
                 .split_whitespace()
                 .filter(|t| t.ends_with('%'))

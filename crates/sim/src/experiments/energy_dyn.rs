@@ -55,11 +55,8 @@ pub fn run(_n: usize, seed: u64) -> Report {
                 EnergySimConfig::paper_outdoor(streams, horizon)
             };
             let r = run_energy(&mut rng, &cfg);
-            let per_round = if r.rounds > 0 {
-                r.packets_ridden as f64 / r.rounds as f64
-            } else {
-                0.0
-            };
+            let per_round =
+                if r.rounds > 0 { r.packets_ridden as f64 / r.rounds as f64 } else { 0.0 };
             report.row(&[
                 p.label().into(),
                 light.into(),
@@ -87,13 +84,7 @@ mod tests {
             .lines()
             .find(|l| l.trim_start().starts_with("802.11n") && l.contains("indoor"))
             .unwrap();
-        let per_round: f64 = row
-            .split_whitespace()
-            .rev()
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let per_round: f64 = row.split_whitespace().rev().nth(1).unwrap().parse().unwrap();
         assert!((per_round - 360.0).abs() < 50.0, "per round {per_round}");
         // Indoor powered fraction is well below 1%.
         let powered: f64 = row

@@ -37,8 +37,7 @@ pub fn ext_fec(n: usize, seed: u64) -> Report {
     let n_productive = 48;
     let raw_cap = link.tag_capacity(n_productive);
     let tag = TagOverlayModulator::new(Protocol::Ble, params);
-    let start =
-        (payload_start_seconds(Protocol::Ble) * 8e6).round() as usize;
+    let start = (payload_start_seconds(Protocol::Ble) * 8e6).round() as usize;
 
     for snr in [8.0, 6.0, 4.0, 2.0, 0.0] {
         let mut bers = [0.0f64; 2];
@@ -56,11 +55,7 @@ pub fn ext_fec(n: usize, seed: u64) -> Report {
                 match link.decode(&rx, n_productive) {
                     Ok(d) => {
                         let back = coding.decode(&d.tag, info_bits);
-                        errors += info
-                            .iter()
-                            .zip(back.iter())
-                            .filter(|(a, b)| a != b)
-                            .count()
+                        errors += info.iter().zip(back.iter()).filter(|(a, b)| a != b).count()
                             + info.len().saturating_sub(back.len());
                     }
                     Err(_) => errors += info_bits,
@@ -92,10 +87,7 @@ pub fn ext_filter(n: usize, seed: u64) -> Report {
     );
     for (label, fe) in [
         ("filterless (paper)", FrontEnd::prototype(SampleRate::ADC_FULL)),
-        (
-            "1.2 MHz band filter",
-            FrontEnd::prototype(SampleRate::ADC_FULL).with_band_filter(1.2e6),
-        ),
+        ("1.2 MHz band filter", FrontEnd::prototype(SampleRate::ADC_FULL).with_band_filter(1.2e6)),
     ] {
         // With a band filter the analog response depends on the common
         // RF grid, so templates are rendered at the collision grid too.
@@ -192,11 +184,11 @@ pub fn ext_multitag(n: usize, seed: u64) -> Report {
             let a_bits = random_bits(&mut rng, half);
             let b_bits = random_bits(&mut rng, half);
             let carrier = link.make_carrier(&productive);
-            let start = (payload_start_seconds(Protocol::WifiB) * carrier.rate().as_hz())
-                .round() as usize;
+            let start =
+                (payload_start_seconds(Protocol::WifiB) * carrier.rate().as_hz()).round() as usize;
             // Tag A owns the first half of the sequences…
             let mut a_padded = a_bits.clone();
-            a_padded.extend(std::iter::repeat(0u8).take(half));
+            a_padded.extend(std::iter::repeat_n(0u8, half));
             let after_a = tag.modulate(&carrier, start, &a_padded);
             // …tag B the second half, modulating A's backscatter.
             let mut b_padded = vec![0u8; half];
@@ -205,21 +197,11 @@ pub fn ext_multitag(n: usize, seed: u64) -> Report {
             let rx = apply_uplink(&mut rng, &after_b, snr, msc_channel::Fading::None);
             match link.decode(&rx) {
                 Ok(d) => {
-                    errs[0] += a_bits
-                        .iter()
-                        .zip(d.tag.iter())
-                        .filter(|(x, y)| x != y)
-                        .count();
-                    errs[1] += b_bits
-                        .iter()
-                        .zip(d.tag.iter().skip(half))
-                        .filter(|(x, y)| x != y)
-                        .count();
-                    errs[2] += productive
-                        .iter()
-                        .zip(d.productive.iter())
-                        .filter(|(x, y)| x != y)
-                        .count();
+                    errs[0] += a_bits.iter().zip(d.tag.iter()).filter(|(x, y)| x != y).count();
+                    errs[1] +=
+                        b_bits.iter().zip(d.tag.iter().skip(half)).filter(|(x, y)| x != y).count();
+                    errs[2] +=
+                        productive.iter().zip(d.productive.iter()).filter(|(x, y)| x != y).count();
                 }
                 Err(_) => {
                     errs[0] += half;
@@ -250,10 +232,7 @@ mod tests {
     fn two_tags_share_a_carrier_cleanly() {
         let rendered = ext_multitag(8, 42).render();
         // At 15 dB all three streams must be error-free.
-        let row = rendered
-            .lines()
-            .find(|l| l.trim_start().starts_with("15.0"))
-            .unwrap();
+        let row = rendered.lines().find(|l| l.trim_start().starts_with("15.0")).unwrap();
         for cell in row.split_whitespace().filter(|t| t.ends_with('%')) {
             let v: f64 = cell.trim_end_matches('%').parse().unwrap();
             assert!(v < 1.0, "stream BER {v}% at 15 dB");
@@ -267,18 +246,13 @@ mod tests {
             .lines()
             .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
             .map(|l| {
-                l.split_whitespace()
-                    .filter_map(|t| t.trim_end_matches('%').parse().ok())
-                    .collect()
+                l.split_whitespace().filter_map(|t| t.trim_end_matches('%').parse().ok()).collect()
             })
             .collect();
         // In the 6 dB row (index 1), repetition already errs while FEC
         // should be (near) clean — the regime FEC is for.
         let (rep6, fec6) = (rows[1][1], rows[1][2]);
-        assert!(
-            fec6 <= rep6,
-            "FEC must not lose in the moderate regime: {fec6}% vs {rep6}%"
-        );
+        assert!(fec6 <= rep6, "FEC must not lose in the moderate regime: {fec6}% vs {rep6}%");
     }
 
     #[test]
@@ -308,13 +282,8 @@ mod tests {
     fn wakeup_saves_orders_of_magnitude_on_sparse_excitation() {
         let rendered = ext_wakeup(0, 0).render();
         let zig_line = rendered.lines().find(|l| l.contains("ZigBee")).unwrap();
-        let saving: f64 = zig_line
-            .split_whitespace()
-            .last()
-            .unwrap()
-            .trim_end_matches('x')
-            .parse()
-            .unwrap();
+        let saving: f64 =
+            zig_line.split_whitespace().last().unwrap().trim_end_matches('x').parse().unwrap();
         assert!(saving > 5.0, "ZigBee saving {saving}x");
     }
 }

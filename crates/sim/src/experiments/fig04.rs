@@ -50,8 +50,11 @@ pub fn run(_n: usize, seed: u64) -> Report {
             format!("{ratio:.1}x"),
         ]);
     }
-    report.note("Paper Fig. 4a: the clamp produces usable voltage where the basic rectifier is dead.");
-    report.note("Paper Fig. 4b: WISP's RFID-tuned RC smears the 11 Mcps structure; ours tracks it.");
+    report.note(
+        "Paper Fig. 4a: the clamp produces usable voltage where the basic rectifier is dead.",
+    );
+    report
+        .note("Paper Fig. 4b: WISP's RFID-tuned RC smears the 11 Mcps structure; ours tracks it.");
     report
 }
 

@@ -14,10 +14,8 @@ pub fn run(n: usize, seed: u64) -> Report {
     let rate = SampleRate::ADC_HALF; // the §2.3.2 operating point
     let fe = front_end(rate);
     let traces = generate_traces_hard(&fe, n, seed);
-    let tuples: Vec<(Protocol, Vec<f64>, isize)> = traces
-        .iter()
-        .map(|t| (t.truth, t.acquired.clone(), t.jitter))
-        .collect();
+    let tuples: Vec<(Protocol, Vec<f64>, isize)> =
+        traces.iter().map(|t| (t.truth, t.acquired.clone(), t.jitter)).collect();
     let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
     let matcher = Matcher::new(bank, MatchMode::Quantized);
     let scores = collect_scores(&matcher, &tuples);
@@ -27,11 +25,8 @@ pub fn run(n: usize, seed: u64) -> Report {
         &["truth", "own-template mean", "best foreign mean", "separation"],
     );
     for p in Protocol::ALL {
-        let own: Vec<f64> = scores
-            .iter()
-            .filter(|s| s.truth == p)
-            .map(|s| s.scores.get(p))
-            .collect();
+        let own: Vec<f64> =
+            scores.iter().filter(|s| s.truth == p).map(|s| s.scores.get(p)).collect();
         let foreign: Vec<f64> = scores
             .iter()
             .filter(|s| s.truth == p)

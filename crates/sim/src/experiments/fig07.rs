@@ -20,10 +20,7 @@ pub fn run(n: usize, seed: u64) -> Report {
     let matcher = Matcher::new(bank, MatchMode::Quantized);
 
     let to_tuples = |traces: &[crate::idtraces::Trace]| -> Vec<(Protocol, Vec<f64>, isize)> {
-        traces
-            .iter()
-            .map(|t| (t.truth, t.acquired.clone(), t.jitter))
-            .collect()
+        traces.iter().map(|t| (t.truth, t.acquired.clone(), t.jitter)).collect()
     };
     let train = collect_scores(&matcher, &to_tuples(&generate_traces_hard(&fe, n, seed)));
     let test = collect_scores(&matcher, &to_tuples(&generate_traces_hard(&fe, n, seed ^ 0x5a5a)));
@@ -37,19 +34,14 @@ pub fn run(n: usize, seed: u64) -> Report {
     );
     for (label, rule) in [("blind", &blind_rule), ("ordered", &searched.rule)] {
         let per = per_protocol_accuracy(rule, &test);
-        let avg = if label == "blind" {
-            blind_accuracy(&test)
-        } else {
-            per.iter().sum::<f64>() / 4.0
-        };
-        report.row(&[
-            label.into(),
-            pct(avg),
-            pct(per[0]),
-            pct(per[1]),
-            pct(per[2]),
-            pct(per[3]),
-        ]);
+        let avg =
+            if label == "blind" { blind_accuracy(&test) } else { per.iter().sum::<f64>() / 4.0 };
+        let stage = if label == "blind" { "blind" } else { "ordered" };
+        for (i, p) in Protocol::ALL.iter().enumerate() {
+            msc_obs::metrics::gauge_set("id.accuracy", p.label(), stage, per[i]);
+        }
+        msc_obs::metrics::gauge_set("id.accuracy_avg", "", stage, avg);
+        report.row(&[label.into(), pct(avg), pct(per[0]), pct(per[1]), pct(per[2]), pct(per[3])]);
     }
     report.note("Paper Fig. 7b: blind 0.906 → ordered 0.976 average accuracy.");
     report

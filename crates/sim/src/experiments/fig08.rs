@@ -24,11 +24,8 @@ pub fn run(n: usize, seed: u64) -> Report {
         (SampleRate::ADC_FLOOR, "1 Msps", true),
     ] {
         let fe = front_end(rate);
-        let cfg = if extended {
-            TemplateConfig::extended(rate)
-        } else {
-            TemplateConfig::standard(rate)
-        };
+        let cfg =
+            if extended { TemplateConfig::extended(rate) } else { TemplateConfig::standard(rate) };
         let bank = TemplateBank::build(&fe, cfg);
         let matcher = Matcher::new(bank, MatchMode::Quantized);
         let tuples = |seed: u64| -> Vec<(Protocol, Vec<f64>, isize)> {

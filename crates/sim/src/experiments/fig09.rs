@@ -82,9 +82,8 @@ pub fn run(n: usize, seed: u64) -> Report {
         &["range m", "mean offset (symbols)", "max offset"],
     );
     for d in [2.0, 6.0, 10.0, 14.0, 16.0] {
-        let draws: Vec<f64> = (0..200)
-            .map(|_| TwoReceiverSystem::draw_offset(&mut rng, d) as f64)
-            .collect();
+        let draws: Vec<f64> =
+            (0..200).map(|_| TwoReceiverSystem::draw_offset(&mut rng, d) as f64).collect();
         offsets.row(&[
             f1(d),
             f1(msc_dsp::stats::mean(&draws)),
@@ -114,22 +113,11 @@ mod tests {
             .lines()
             .filter(|l| l.trim_start().starts_with("Hitchhike"))
             .map(|l| {
-                l.split_whitespace()
-                    .rev()
-                    .nth(1)
-                    .unwrap()
-                    .trim_end_matches('%')
-                    .parse()
-                    .unwrap()
+                l.split_whitespace().rev().nth(1).unwrap().trim_end_matches('%').parse().unwrap()
             })
             .collect();
         assert_eq!(bers.len(), 3);
         assert!(bers[0] < 10.0, "clear-channel BER {}", bers[0]);
-        assert!(
-            bers[2] > 30.0,
-            "concrete-wall BER must explode: {} (clear {})",
-            bers[2],
-            bers[0]
-        );
+        assert!(bers[2] > 30.0, "concrete-wall BER must explode: {} (clear {})", bers[2], bers[0]);
     }
 }

@@ -12,12 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Measures delivery fractions for (protocol, mode) over `n` placements.
-fn delivery(
-    rng: &mut StdRng,
-    p: Protocol,
-    mode: Mode,
-    n: usize,
-) -> (f64, f64) {
+fn delivery(rng: &mut StdRng, p: Protocol, mode: Mode, n: usize) -> (f64, f64) {
     let link = AnyLink::new(p, mode);
     let mut prod_ok = 0.0;
     let mut tag_ok = 0.0;
@@ -43,11 +38,8 @@ pub fn run(n: usize, seed: u64) -> Report {
     for p in Protocol::ALL {
         let profile = ExcitationProfile::paper_default(p);
         let n3 = profile.payload_symbols / gamma_for(p);
-        for (label, mode) in [
-            ("1", Mode::Mode1),
-            ("2", Mode::Mode2),
-            ("3", Mode::Mode3 { n: n3 }),
-        ] {
+        for (label, mode) in [("1", Mode::Mode1), ("2", Mode::Mode2), ("3", Mode::Mode3 { n: n3 })]
+        {
             // Delivery statistics measured at mode 1/2 geometry; mode 3
             // reuses mode 1's (same physical modulation).
             let meas_mode = match mode {
@@ -56,6 +48,14 @@ pub fn run(n: usize, seed: u64) -> Report {
             };
             let (prod_ok, tag_ok) = delivery(&mut rng, p, meas_mode, n);
             let g = goodput(&profile, mode, prod_ok, tag_ok);
+            let stage = match label {
+                "1" => "mode1",
+                "2" => "mode2",
+                _ => "mode3",
+            };
+            msc_obs::metrics::gauge_set("link.productive_bps", p.label(), stage, g.productive_bps);
+            msc_obs::metrics::gauge_set("link.tag_bps", p.label(), stage, g.tag_bps);
+            msc_obs::metrics::gauge_set("link.aggregate_bps", p.label(), stage, g.aggregate_bps());
             report.row(&[
                 p.label().into(),
                 label.into(),
@@ -78,7 +78,9 @@ mod tests {
     fn cell(rendered: &str, proto: &str, mode: &str) -> (f64, f64) {
         let line = rendered
             .lines()
-            .find(|l| l.trim_start().starts_with(proto) && l.split_whitespace().nth(1) == Some(mode))
+            .find(|l| {
+                l.trim_start().starts_with(proto) && l.split_whitespace().nth(1) == Some(mode)
+            })
             .unwrap_or_else(|| panic!("row {proto} {mode}"));
         let toks: Vec<&str> = line.split_whitespace().collect();
         (toks[3].parse().unwrap(), toks[4].parse().unwrap())
@@ -106,7 +108,9 @@ mod tests {
         let agg = |proto: &str| -> f64 {
             let line = r
                 .lines()
-                .find(|l| l.trim_start().starts_with(proto) && l.split_whitespace().nth(1) == Some("1"))
+                .find(|l| {
+                    l.trim_start().starts_with(proto) && l.split_whitespace().nth(1) == Some("1")
+                })
                 .unwrap();
             line.split_whitespace().last().unwrap().parse().unwrap()
         };

@@ -22,15 +22,15 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
     } else {
         "fig13 — LoS backscatter RSSI / tag BER / aggregate throughput vs distance"
     };
-    let mut report = Report::new(
-        title,
-        &["protocol", "d m", "RSSI dBm", "PER", "tag BER", "aggregate kbps"],
-    );
+    let mut report =
+        Report::new(title, &["protocol", "d m", "RSSI dBm", "PER", "tag BER", "aggregate kbps"]);
 
+    let stage = if nlos { "nlos" } else { "los" };
     for p in Protocol::ALL {
         let link = AnyLink::new(p, Mode::Mode1);
         let profile = ExcitationProfile::paper_default(p);
         let mut max_range = 0.0f64;
+        let mut counter = msc_rx::BerCounter::new();
         for d in DISTANCES {
             let geo = if nlos { Geometry::nlos(d) } else { Geometry::los(d) };
             let mut delivered = 0usize;
@@ -45,6 +45,9 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
                     tag_bits += out.tag_bits;
                     prod_ok_acc +=
                         1.0 - out.productive_errors as f64 / out.productive_units.max(1) as f64;
+                    counter.record_counts(out.tag_bits, out.tag_errors);
+                } else {
+                    counter.record_lost(out.tag_bits);
                 }
             }
             let per = 1.0 - delivered as f64 / n as f64;
@@ -64,6 +67,8 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
                 f1(g.aggregate_bps() / 1e3),
             ]);
         }
+        counter.export_obs(p.label(), stage);
+        msc_obs::metrics::gauge_set("pipe.max_range_m", p.label(), stage, max_range);
         report.note(format!("{} maximal usable range ≈ {max_range} m", p.label()));
     }
     report.note(if nlos {

@@ -62,11 +62,8 @@ pub fn run(n: usize, seed: u64) -> Report {
                 let mut sys_rng = sys.clone();
                 sys_rng.sync_offset_symbols = TwoReceiverSystem::draw_offset(&mut rng, 4.0);
                 if let Ok(decoded) = sys_rng.decode_tag(&rx_a, &rx_b) {
-                    let errors = tag_bits
-                        .iter()
-                        .zip(decoded.iter())
-                        .filter(|(a, b)| a != b)
-                        .count();
+                    let errors =
+                        tag_bits.iter().zip(decoded.iter()).filter(|(a, b)| a != b).count();
                     let frac = 1.0 - errors as f64 / tag_bits.len().max(1) as f64;
                     // A misaligned XOR yields coin-flip bits carrying no
                     // information; floor each packet's contribution at
@@ -86,13 +83,11 @@ pub fn run(n: usize, seed: u64) -> Report {
         let raw_tag_bps = profile.effective_pkt_rate() * profile.payload_symbols as f64
             / kind.symbols_per_bit() as f64;
         let p_ok = good_frac / n as f64;
-        report.row(&[
-            kind.label().into(),
-            "802.11b".into(),
-            f1(raw_tag_bps * p_ok / 1e3),
-        ]);
+        report.row(&[kind.label().into(), "802.11b".into(), f1(raw_tag_bps * p_ok / 1e3)]);
     }
-    report.note("Paper Fig. 15: multiscatter 136 (BLE) / 121 (11b) vs Hitchhike 94 / FreeRider 33 kbps.");
+    report.note(
+        "Paper Fig. 15: multiscatter 136 (BLE) / 121 (11b) vs Hitchhike 94 / FreeRider 33 kbps.",
+    );
     report.note("Multiscatter needs no original packet at all; the baselines pay with every lost or misaligned original frame.");
     report
 }

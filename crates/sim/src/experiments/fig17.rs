@@ -26,11 +26,9 @@ pub fn run(n: usize, seed: u64) -> Report {
     );
 
     // 802.11n: the overlay link supports all three constellations.
-    for (label, mcs) in [
-        ("OFDM-BPSK", Mcs::Mcs0),
-        ("OFDM-QPSK", Mcs::Mcs1),
-        ("OFDM-16QAM", Mcs::Mcs3),
-    ] {
+    for (label, mcs) in
+        [("OFDM-BPSK", Mcs::Mcs0), ("OFDM-QPSK", Mcs::Mcs1), ("OFDM-16QAM", Mcs::Mcs3)]
+    {
         let params = params_for(Protocol::WifiN, Mode::Mode1);
         let link = WifiNOverlayLink::new(params).with_mcs(mcs);
         let tag = TagOverlayModulator::new(Protocol::WifiN, params);
@@ -40,17 +38,13 @@ pub fn run(n: usize, seed: u64) -> Report {
             let productive = random_bits(&mut rng, 12);
             let tag_bits = random_bits(&mut rng, link.tag_capacity(12));
             let carrier = link.make_carrier(&productive);
-            let start = (payload_start_seconds(Protocol::WifiN) * carrier.rate().as_hz())
-                .round() as usize;
+            let start =
+                (payload_start_seconds(Protocol::WifiN) * carrier.rate().as_hz()).round() as usize;
             let modulated = tag.modulate(&carrier, start, &tag_bits);
             let snr = geo.uplink_snr_db(Protocol::WifiN);
             let rx = apply_uplink(&mut rng, &modulated, snr, geo.fading);
             if let Ok(d) = link.decode(&rx) {
-                errors += tag_bits
-                    .iter()
-                    .zip(d.tag.iter())
-                    .filter(|(a, b)| a != b)
-                    .count();
+                errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count();
                 bits += tag_bits.len();
             } else {
                 errors += tag_bits.len();
@@ -74,8 +68,7 @@ pub fn run(n: usize, seed: u64) -> Report {
     ] {
         let params = params_for(Protocol::WifiB, Mode::Mode1);
         let link = msc_rx::WifiBOverlayLink::new(params).with_rate(rate);
-        let tag =
-            TagOverlayModulator::new(Protocol::WifiB, params).with_symbol_duration(sym_s);
+        let tag = TagOverlayModulator::new(Protocol::WifiB, params).with_symbol_duration(sym_s);
         let mut errors = 0usize;
         let mut bits = 0usize;
         for _ in 0..n {
@@ -83,18 +76,14 @@ pub fn run(n: usize, seed: u64) -> Report {
             let productive = random_bits(&mut rng, 24 * b);
             let tag_bits = random_bits(&mut rng, link.tag_capacity(productive.len()));
             let carrier = link.make_carrier(&productive);
-            let start = (payload_start_seconds(Protocol::WifiB) * carrier.rate().as_hz())
-                .round() as usize;
+            let start =
+                (payload_start_seconds(Protocol::WifiB) * carrier.rate().as_hz()).round() as usize;
             let modulated = tag.modulate(&carrier, start, &tag_bits);
             let snr = geo.uplink_snr_db(Protocol::WifiB);
             let rx = apply_uplink(&mut rng, &modulated, snr, geo.fading);
             match link.decode(&rx) {
                 Ok(d) => {
-                    errors += tag_bits
-                        .iter()
-                        .zip(d.tag.iter())
-                        .filter(|(a, b)| a != b)
-                        .count();
+                    errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count();
                 }
                 Err(_) => errors += tag_bits.len(),
             }

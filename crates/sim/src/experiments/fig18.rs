@@ -136,11 +136,7 @@ pub fn run_dynamic(_n: usize, seed: u64) -> Report {
     ]);
     report.row(&[
         "802.11b-only".into(),
-        events
-            .iter()
-            .filter(|e| streams[e.stream].protocol == Protocol::WifiB)
-            .count()
-            .to_string(),
+        events.iter().filter(|e| streams[e.stream].protocol == Protocol::WifiB).count().to_string(),
         crate::report::pct(single_busy / horizon),
         crate::report::f1(single_bits as f64 / horizon / 1e3),
     ]);

@@ -1,6 +1,9 @@
 //! One runner per table/figure of the paper's evaluation. Each module
 //! exposes `run(n, seed) -> Report`; the `paper` binary dispatches here.
 
+pub mod ablations;
+pub mod energy_dyn;
+pub mod extensions;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;
@@ -13,9 +16,6 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
-pub mod ablations;
-pub mod energy_dyn;
-pub mod extensions;
 pub mod fig18;
 pub mod tab1;
 pub mod tables;

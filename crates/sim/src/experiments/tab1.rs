@@ -15,14 +15,18 @@ use msc_baseline::{BaselineKind, InterscatterTag, ToneCarrier, TwoReceiverSystem
 use msc_core::overlay::Mode;
 use msc_core::MultiscatterTag;
 use msc_dsp::{IqBuf, SampleRate};
-use msc_phy::ble::{BleConfig, BleDemodulator};
 use msc_phy::bits::{random_bits, random_bytes};
+use msc_phy::ble::{BleConfig, BleDemodulator};
 use msc_phy::protocol::Protocol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn mark(ok: bool) -> String {
-    if ok { "✓".into() } else { "—".into() }
+    if ok {
+        "✓".into()
+    } else {
+        "—".into()
+    }
 }
 
 /// Runs the demonstrations and prints the taxonomy.
@@ -122,11 +126,7 @@ mod tests {
     fn only_multiscatter_checks_every_column() {
         let rendered = run(0, 42).render();
         let row = |name: &str| -> String {
-            rendered
-                .lines()
-                .find(|l| l.trim_start().starts_with(name))
-                .unwrap()
-                .to_string()
+            rendered.lines().find(|l| l.trim_start().starts_with(name)).unwrap().to_string()
         };
         let multis = row("Multiscatter");
         assert_eq!(multis.matches('✓').count(), 3, "{multis}");

@@ -16,7 +16,8 @@ pub fn tab2(_n: usize, _seed: u64) -> Report {
         &["implementation", "multipliers", "adders", "D-flip-flops"],
     );
     for p in Protocol::ALL {
-        let one = MatcherCost { template_size: 120, protocols: 1, arithmetic: Arithmetic::FullPrecision };
+        let one =
+            MatcherCost { template_size: 120, protocols: 1, arithmetic: Arithmetic::FullPrecision };
         r.row(&[
             p.label().into(),
             one.multipliers().to_string(),
@@ -117,11 +118,7 @@ pub fn tab5(_n: usize, _seed: u64) -> Report {
         &["setup", "power mW", "relative", "LUTs"],
     );
     let rows: [(&str, MatcherCost, f64); 3] = [
-        (
-            "20 MS/s, no ±1 quant.",
-            MatcherCost::table2(Arithmetic::FullPrecision),
-            20e6,
-        ),
+        ("20 MS/s, no ±1 quant.", MatcherCost::table2(Arithmetic::FullPrecision), 20e6),
         ("20 MS/s, ±1 quant.", MatcherCost::table2(Arithmetic::Quantized), 20e6),
         (
             "2.5 MS/s, ±1 quant.",

@@ -40,11 +40,7 @@ pub struct Trace {
 /// excitation source (incident ≈ −4…−9 dBm depending on placement and
 /// polarization, which we draw uniformly), and the detector's timing
 /// jitters by up to ±2 ADC samples.
-pub fn generate_traces(
-    front_end: &FrontEnd,
-    n_per_protocol: usize,
-    seed: u64,
-) -> Vec<Trace> {
+pub fn generate_traces(front_end: &FrontEnd, n_per_protocol: usize, seed: u64) -> Vec<Trace> {
     generate_traces_at(front_end, n_per_protocol, seed, -9.0..-4.0, 2)
 }
 
@@ -53,11 +49,7 @@ pub fn generate_traces(
 /// scenarios"), with more detection jitter. Figs. 5–8 use these so the
 /// blind/ordered and window-extension effects are visible rather than
 /// saturated at 100%.
-pub fn generate_traces_hard(
-    front_end: &FrontEnd,
-    n_per_protocol: usize,
-    seed: u64,
-) -> Vec<Trace> {
+pub fn generate_traces_hard(front_end: &FrontEnd, n_per_protocol: usize, seed: u64) -> Vec<Trace> {
     generate_traces_at(front_end, n_per_protocol, seed, -10.5..-4.5, 3)
 }
 

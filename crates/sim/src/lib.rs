@@ -16,8 +16,8 @@ pub mod experiments;
 pub mod idtraces;
 pub mod pipeline;
 pub mod report;
-pub mod traffic;
 pub mod throughput;
+pub mod traffic;
 
 pub use pipeline::{AnyLink, Geometry, PacketOutcome};
 pub use report::Report;

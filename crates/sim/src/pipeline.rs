@@ -9,8 +9,11 @@ use msc_core::tag::payload_start_seconds;
 use msc_core::TagOverlayModulator;
 use msc_dsp::units::db_to_lin;
 use msc_dsp::IqBuf;
+use msc_obs::metrics::{self, buckets};
 use msc_phy::protocol::Protocol;
-use msc_rx::{BleOverlayLink, OverlayDecoded, WifiBOverlayLink, WifiNOverlayLink, ZigBeeOverlayLink};
+use msc_rx::{
+    BleOverlayLink, OverlayDecoded, WifiBOverlayLink, WifiNOverlayLink, ZigBeeOverlayLink,
+};
 use rand::Rng;
 
 /// Excitation transmit power, dBm. All excitations run at 30 dBm EIRP:
@@ -54,12 +57,7 @@ pub struct Geometry {
 impl Geometry {
     /// The paper's LoS deployment at a given receiver distance.
     pub fn los(d_tag_rx: f64) -> Self {
-        Geometry {
-            d_tx_tag: 0.8,
-            d_tag_rx,
-            budget: LinkBudget::paper_los(),
-            fading: Fading::los(),
-        }
+        Geometry { d_tx_tag: 0.8, d_tag_rx, budget: LinkBudget::paper_los(), fading: Fading::los() }
     }
 
     /// The paper's NLoS deployment.
@@ -77,8 +75,7 @@ impl Geometry {
     pub fn uplink_snr_db(&self, p: Protocol) -> f64 {
         let mut b = self.budget;
         b.tx_power_dbm = tx_power_dbm(p);
-        b.backscatter_snr_db(self.d_tx_tag, self.d_tag_rx, p.bandwidth_hz())
-            - rx_impl_margin_db(p)
+        b.backscatter_snr_db(self.d_tx_tag, self.d_tag_rx, p.bandwidth_hz()) - rx_impl_margin_db(p)
     }
 
     /// Backscattered RSSI at the receiver, dBm.
@@ -139,7 +136,7 @@ pub fn apply_uplink_impaired<R: Rng>(rng: &mut R, wave: &IqBuf, imp: Impairments
     }
     let h = imp.fading.sample(rng);
     for s in out.samples_mut() {
-        *s = *s * h;
+        *s *= h;
     }
     // Signal mean power |h|^2; noise set against the *average* signal
     // power so fading dips genuinely hurt.
@@ -281,7 +278,9 @@ pub fn run_packet<R: Rng>(
     n_productive: usize,
 ) -> PacketOutcome {
     let p = link.protocol();
-    let (productive, carrier) = link.make_carrier(rng, n_productive);
+    let label = p.label();
+    let (productive, carrier) =
+        metrics::time_stage(label, "carrier", || link.make_carrier(rng, n_productive));
     let cap = link.tag_capacity(n_productive);
     let tag_bits: Vec<u8> = (0..cap).map(|_| rng.gen_range(0..=1)).collect();
 
@@ -290,26 +289,25 @@ pub fn run_packet<R: Rng>(
     // Fig. 5/7/8 quantify it).
     let modulator = TagOverlayModulator::new(p, params_for(p, mode));
     let start = (payload_start_seconds(p) * carrier.rate().as_hz()).round() as usize;
-    let modulated = modulator.modulate(&carrier, start, &tag_bits);
+    let modulated =
+        metrics::time_stage(label, "modulate", || modulator.modulate(&carrier, start, &tag_bits));
 
     // Uplink channel.
     let snr = geometry.uplink_snr_db(p);
-    let rx = apply_uplink(rng, &modulated, snr, geometry.fading);
+    metrics::hist_observe("pipe.snr_db", label, "uplink", snr, buckets::SNR_DB);
+    let rx = metrics::time_stage(label, "channel", || {
+        apply_uplink(rng, &modulated, snr, geometry.fading)
+    });
 
-    match link.decode(&rx, n_productive) {
+    metrics::counter_add("pipe.packets", label, "", 1);
+    let outcome = match metrics::time_stage(label, "decode", || link.decode(&rx, n_productive)) {
         Ok(d) => {
-            let tag_errors = tag_bits
-                .iter()
-                .zip(d.tag.iter())
-                .filter(|(a, b)| (*a ^ *b) & 1 == 1)
-                .count()
-                + tag_bits.len().saturating_sub(d.tag.len());
-            let productive_errors = productive
-                .iter()
-                .zip(d.productive.iter())
-                .filter(|(a, b)| a != b)
-                .count()
-                + productive.len().saturating_sub(d.productive.len());
+            let tag_errors =
+                tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| (*a ^ *b) & 1 == 1).count()
+                    + tag_bits.len().saturating_sub(d.tag.len());
+            let productive_errors =
+                productive.iter().zip(d.productive.iter()).filter(|(a, b)| a != b).count()
+                    + productive.len().saturating_sub(d.productive.len());
             PacketOutcome {
                 decoded: true,
                 tag_errors,
@@ -318,14 +316,26 @@ pub fn run_packet<R: Rng>(
                 productive_units: productive.len(),
             }
         }
-        Err(_) => PacketOutcome {
-            decoded: false,
-            tag_errors: cap,
-            tag_bits: cap,
-            productive_errors: n_productive,
-            productive_units: n_productive,
-        },
-    }
+        Err(_) => {
+            metrics::counter_add("pipe.decode_fail", label, "", 1);
+            PacketOutcome {
+                decoded: false,
+                tag_errors: cap,
+                tag_bits: cap,
+                productive_errors: n_productive,
+                productive_units: n_productive,
+            }
+        }
+    };
+    metrics::hist_observe("pipe.tag_ber", label, "", outcome.tag_ber(), buckets::BER);
+    msc_obs::event!(
+        "pipe.packet",
+        protocol = label,
+        snr_db = format_args!("{snr:.1}"),
+        decoded = outcome.decoded,
+        tag_ber = format_args!("{:.3}", outcome.tag_ber())
+    );
+    outcome
 }
 
 #[cfg(test)]
@@ -383,10 +393,8 @@ mod tests {
     #[test]
     fn apply_uplink_sets_snr() {
         let mut rng = StdRng::seed_from_u64(193);
-        let wave = IqBuf::new(
-            vec![msc_dsp::Complex64::ONE; 20_000],
-            msc_dsp::SampleRate::mhz(20.0),
-        );
+        let wave =
+            IqBuf::new(vec![msc_dsp::Complex64::ONE; 20_000], msc_dsp::SampleRate::mhz(20.0));
         let out = apply_uplink(&mut rng, &wave, 20.0, Fading::None);
         // Signal power ~1, noise ~0.01 → total ~1.01.
         assert!((out.mean_power() - 1.01).abs() < 0.01, "power {}", out.mean_power());

@@ -79,6 +79,34 @@ impl Report {
         }
         out
     }
+
+    /// Serializes the report as a JSON object (`--metrics-out` sink):
+    /// `{"title", "header", "rows", "notes"}` with rows as string
+    /// arrays, so any plotting script can consume the table directly.
+    pub fn to_json(&self) -> String {
+        use msc_obs::export::json_escape;
+        let arr = |items: &[String]| {
+            let cells: Vec<String> =
+                items.iter().map(|c| format!("\"{}\"", json_escape(c))).collect();
+            format!("[{}]", cells.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| format!("    {}", arr(r))).collect();
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"header\": {},\n  \"notes\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_escape(&self.title),
+            arr(&self.header),
+            arr(&self.notes),
+            rows.join(",\n")
+        )
+    }
+
+    /// Writes the JSON form to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
 }
 
 /// Formats a float with 1 decimal.
@@ -120,6 +148,19 @@ mod tests {
     fn row_width_checked() {
         let mut r = Report::new("t", &["a"]);
         r.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_form_parses_and_round_trips() {
+        let mut r = Report::new("t \"x\"", &["a", "b"]);
+        r.row(&["1".into(), "two\nlines".into()]);
+        r.note("n1");
+        let v = msc_obs::export::parse_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("title").unwrap().as_str().unwrap(), "t \"x\"");
+        let rows = v.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].as_arr().unwrap()[1].as_str().unwrap(), "two\nlines");
+        assert_eq!(v.get("notes").unwrap().as_arr().unwrap().len(), 1);
     }
 
     #[test]

@@ -137,11 +137,7 @@ mod tests {
         // 802.11n: aggregate near the paper's 101.2 kbps.
         let n = ExcitationProfile::paper_default(Protocol::WifiN);
         let gn = goodput(&n, Mode::Mode1, 1.0, 1.0);
-        assert!(
-            gn.aggregate_bps() > 60e3 && gn.aggregate_bps() < 140e3,
-            "{}",
-            gn.aggregate_bps()
-        );
+        assert!(gn.aggregate_bps() > 60e3 && gn.aggregate_bps() < 140e3, "{}", gn.aggregate_bps());
     }
 
     #[test]

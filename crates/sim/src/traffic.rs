@@ -139,12 +139,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let s = Stream {
             protocol: Protocol::WifiB,
-            arrivals: Arrivals::DutyCycled {
-                rate: 1000.0,
-                on_s: 0.1,
-                period_s: 0.2,
-                phase_s: 0.0,
-            },
+            arrivals: Arrivals::DutyCycled { rate: 1000.0, on_s: 0.1, period_s: 0.2, phase_s: 0.0 },
             airtime_s: 1e-4,
             tag_bits_per_packet: 8,
         };

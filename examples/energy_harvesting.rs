@@ -10,10 +10,10 @@
 //! cargo run --release --example energy_harvesting
 //! ```
 
-use multiscatter::analog::{EnergyBuffer, Light, SolarHarvester, WakeUpReceiver};
+use multiscatter::analog::{EnergyBuffer, SolarHarvester, WakeUpReceiver};
+use multiscatter::prelude::*;
 use multiscatter::sim::energy::{run, EnergySimConfig};
 use multiscatter::sim::traffic::{Arrivals, Stream};
-use multiscatter::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

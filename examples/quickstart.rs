@@ -60,9 +60,9 @@ fn main() {
         let decoded: OverlayDecoded = match protocol {
             Protocol::WifiB => WifiBOverlayLink::new(params).decode(&backscattered).unwrap(),
             Protocol::WifiN => WifiNOverlayLink::new(params).decode(&backscattered).unwrap(),
-            Protocol::Ble => BleOverlayLink::new(params)
-                .decode(&backscattered, n_productive)
-                .unwrap(),
+            Protocol::Ble => {
+                BleOverlayLink::new(params).decode(&backscattered, n_productive).unwrap()
+            }
             Protocol::ZigBee => ZigBeeOverlayLink::new(params).decode(&backscattered).unwrap(),
         };
 

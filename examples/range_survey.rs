@@ -13,15 +13,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let mut rng = StdRng::seed_from_u64(5);
 
     for (nlos, name) in [(false, "LoS hallway"), (true, "NLoS office")] {
         println!("== {name} (tag 0.8 m from excitation source, {n} packets/point) ==");
-        println!("{:9} {:>6} {:>10} {:>10} {:>9}", "protocol", "d m", "RSSI dBm", "delivery", "tag BER");
+        println!(
+            "{:9} {:>6} {:>10} {:>10} {:>9}",
+            "protocol", "d m", "RSSI dBm", "delivery", "tag BER"
+        );
         for p in Protocol::ALL {
             let link = AnyLink::new(p, Mode::Mode1);
             for d in [4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0] {

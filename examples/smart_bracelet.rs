@@ -27,16 +27,16 @@ fn main() {
     let n_params = overlay::params_for(Protocol::WifiN, Mode::Mode1);
     let b_params = overlay::params_for(Protocol::WifiB, Mode::Mode1);
     let n_profile = ExcitationProfile::paper_default(Protocol::WifiN);
-    let n_capacity = n_params.sequences_in(n_profile.payload_symbols)
-        * n_params.tag_bits_per_sequence();
+    let n_capacity =
+        n_params.sequences_in(n_profile.payload_symbols) * n_params.tag_bits_per_sequence();
     for i in 0..2000 {
         // Per-packet delivery jitters with channel conditions.
         let delivery = rng.gen_range(0.9..1.0);
         scheduler.observe(Protocol::WifiN, i as f64 / 2000.0, n_capacity, delivery);
     }
     let b_profile = ExcitationProfile::paper_default(Protocol::WifiB);
-    let b_capacity = b_params.sequences_in(b_profile.payload_symbols)
-        * b_params.tag_bits_per_sequence();
+    let b_capacity =
+        b_params.sequences_in(b_profile.payload_symbols) * b_params.tag_bits_per_sequence();
     for i in 0..3 {
         scheduler.observe(Protocol::WifiB, 0.1 + i as f64 * 0.35, b_capacity, 0.95);
     }
@@ -54,9 +54,7 @@ fn main() {
     }
 
     // The multiscatter tag's pick.
-    let pick = scheduler
-        .pick_meeting_goal(GOAL_BPS)
-        .expect("some carrier meets the goal");
+    let pick = scheduler.pick_meeting_goal(GOAL_BPS).expect("some carrier meets the goal");
     println!(
         "\nmultiscatter tag picks {} → {:.1} kbps ({})",
         pick.label(),

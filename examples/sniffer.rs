@@ -34,14 +34,14 @@ fn main() {
     let mut truth: Vec<(usize, Protocol)> = Vec::new();
     for _ in 0..n_packets {
         let gap = rng.gen_range(400..1500);
-        stream.extend(std::iter::repeat(0.0).take(gap));
+        stream.extend(std::iter::repeat_n(0.0, gap));
         let p = Protocol::ALL[rng.gen_range(0..4)];
         truth.push((stream.len(), p));
         let wave = multiscatter::sim::idtraces::random_packet(p, &mut rng);
         let incident = rng.gen_range(-8.5..-4.0);
         stream.extend(fe.acquire(&mut rng, &wave, incident));
     }
-    stream.extend(std::iter::repeat(0.0).take(500));
+    stream.extend(std::iter::repeat_n(0.0, 500));
 
     println!(
         "sniffing {:.1} ms of air at {} ({} packets on it)\n",
@@ -54,9 +54,8 @@ fn main() {
     let mut correct = 0usize;
     let mut tally = [0usize; 4];
     for d in &detections {
-        let matched = truth
-            .iter()
-            .find(|(edge, _)| (d.at as i64 - *edge as i64).unsigned_abs() < 40);
+        let matched =
+            truth.iter().find(|(edge, _)| (d.at as i64 - *edge as i64).unsigned_abs() < 40);
         let verdict = match matched {
             Some((_, p)) if *p == d.protocol => {
                 correct += 1;

@@ -58,10 +58,10 @@ pub use msc_phy as phy;
 pub use msc_rx as rx;
 pub use msc_sim as sim;
 
-/// The paper's tag: identification + overlay modulation.
-pub use msc_core::tag;
 /// Overlay modulation parameters and tag-side modulators.
 pub use msc_core::overlay;
+/// The paper's tag: identification + overlay modulation.
+pub use msc_core::tag;
 
 /// One-stop imports for the examples and downstream users.
 pub mod prelude {

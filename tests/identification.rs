@@ -8,15 +8,8 @@ use multiscatter::core::search::{
 use multiscatter::prelude::*;
 use multiscatter::sim::idtraces::{front_end, generate_traces};
 
-fn tuples(
-    fe: &FrontEnd,
-    n: usize,
-    seed: u64,
-) -> Vec<(Protocol, Vec<f64>, isize)> {
-    generate_traces(fe, n, seed)
-        .into_iter()
-        .map(|t| (t.truth, t.acquired, t.jitter))
-        .collect()
+fn tuples(fe: &FrontEnd, n: usize, seed: u64) -> Vec<(Protocol, Vec<f64>, isize)> {
+    generate_traces(fe, n, seed).into_iter().map(|t| (t.truth, t.acquired, t.jitter)).collect()
 }
 
 #[test]
@@ -55,10 +48,7 @@ fn window_extension_beats_short_window_at_low_rate() {
     };
     let short = run(TemplateConfig::standard(rate));
     let extended = run(TemplateConfig::extended(rate));
-    assert!(
-        extended >= short,
-        "extension must not lose: short {short} vs extended {extended}"
-    );
+    assert!(extended >= short, "extension must not lose: short {short} vs extended {extended}");
     assert!(extended > 0.85, "extended accuracy {extended}");
 }
 

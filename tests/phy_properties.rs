@@ -6,7 +6,7 @@ use multiscatter::phy::ble::{BleConfig, BleDemodulator, BleModulator};
 use multiscatter::phy::conv::{encode, viterbi_decode};
 use multiscatter::phy::crc::Crc;
 use multiscatter::phy::scramble::{scramble_11a, Scrambler11b, Whitener};
-use multiscatter::phy::wifi_b::{DsssRate, WifiBConfig, WifiBDemodulator, WifiBModulator};
+use multiscatter::phy::wifi_b::{WifiBConfig, WifiBDemodulator, WifiBModulator};
 use multiscatter::phy::wifi_n::{Mcs, WifiNConfig, WifiNDemodulator, WifiNModulator};
 use multiscatter::phy::zigbee::{ZigBeeConfig, ZigBeeDemodulator, ZigBeeModulator};
 use proptest::prelude::*;
