@@ -22,10 +22,60 @@ pub use std::hint::black_box;
 /// [`criterion_main!`].
 static FILTER: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
 
+/// Collected results for the optional JSON sink (`BENCH_JSON_OUT`).
+static RESULTS: std::sync::Mutex<Vec<BenchResult>> = std::sync::Mutex::new(Vec::new());
+
+/// One benchmark's timing summary, as written to the JSON sink.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full bench name (`group/function/param`).
+    pub name: String,
+    /// Fastest sample, ns/iteration.
+    pub low_ns: f64,
+    /// Median sample, ns/iteration.
+    pub median_ns: f64,
+    /// Slowest sample, ns/iteration.
+    pub high_ns: f64,
+}
+
 #[doc(hidden)]
 pub fn __set_filter_from_args() {
     let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
     let _ = FILTER.set(filter);
+}
+
+/// Writes every recorded result as a JSON array to the path named by the
+/// `BENCH_JSON_OUT` environment variable, if set. Called by
+/// [`criterion_main!`] after all groups run; a no-op otherwise.
+#[doc(hidden)]
+pub fn __write_json_if_requested() {
+    let Ok(path) = std::env::var("BENCH_JSON_OUT") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"low_ns\": {:.1}, \"median_ns\": {:.1}, \"high_ns\": {:.1}}}{}\n",
+            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            r.low_ns,
+            r.median_ns,
+            r.high_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("[bench] {} results written to {path}", results.len()),
+        Err(e) => eprintln!("[bench] failed to write {path}: {e}"),
+    }
+}
+
+/// True when the `BENCH_SMOKE` environment variable requests the fast
+/// CI-smoke sampling profile (tiny warm-up and measurement budgets —
+/// numbers are not for comparison, only for "does it run").
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
 }
 
 fn name_selected(name: &str) -> bool {
@@ -93,11 +143,20 @@ impl Criterion {
         if !name_selected(name) {
             return;
         }
-        let mut b = Bencher {
-            warm_up_time: self.warm_up_time,
-            measurement_time: self.measurement_time,
-            sample_size: self.sample_size,
-            samples_ns: Vec::new(),
+        let mut b = if smoke() {
+            Bencher {
+                warm_up_time: Duration::from_millis(10),
+                measurement_time: Duration::from_millis(50),
+                sample_size: 3,
+                samples_ns: Vec::new(),
+            }
+        } else {
+            Bencher {
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+                sample_size: self.sample_size,
+                samples_ns: Vec::new(),
+            }
         };
         f(&mut b);
         b.report(name);
@@ -242,6 +301,12 @@ impl Bencher {
         let median = s[s.len() / 2];
         let (lo, hi) = (s[0], s[s.len() - 1]);
         println!("{name:<50} time: [{} {} {}]", fmt_ns(lo), fmt_ns(median), fmt_ns(hi));
+        RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(BenchResult {
+            name: name.to_string(),
+            low_ns: lo,
+            median_ns: median,
+            high_ns: hi,
+        });
     }
 }
 
@@ -282,6 +347,7 @@ macro_rules! criterion_main {
         fn main() {
             $crate::__set_filter_from_args();
             $( $group(); )+
+            $crate::__write_json_if_requested();
         }
     };
 }

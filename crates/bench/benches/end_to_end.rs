@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use msc_core::overlay::Mode;
 use msc_phy::protocol::Protocol;
-use msc_sim::pipeline::{run_packet, AnyLink, Geometry};
+use msc_sim::pipeline::{run_packet, run_packets, AnyLink, Geometry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,9 +43,25 @@ fn bench_tag_full_loop(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_experiment_cell(c: &mut Criterion) {
+    // One full Monte-Carlo cell as the experiments run it: a batch of
+    // derived-seed packets through the worker pool (Fig. 13's unit of
+    // work). Set `--threads` via msc_par::set_threads before running to
+    // measure scaling; the default is available parallelism.
+    let mut group = c.benchmark_group("experiment_cell");
+    for p in [Protocol::Ble, Protocol::ZigBee] {
+        let link = AnyLink::new(p, Mode::Mode1);
+        group.bench_with_input(BenchmarkId::from_parameter(p.label()), &link, |b, link| {
+            let geo = Geometry::los(8.0);
+            b.iter(|| run_packets(black_box(link), &geo, Mode::Mode1, 16, 6, 42, "bench/cell"))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pipeline, bench_tag_full_loop
+    targets = bench_pipeline, bench_tag_full_loop, bench_experiment_cell
 }
 criterion_main!(benches);

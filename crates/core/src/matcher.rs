@@ -50,9 +50,10 @@ pub fn multibit_quantize(window: &[f64], dc: f64, rms: f64, bits: u8) -> Vec<i32
 }
 
 /// Integer correlation of two quantized windows, normalized to [-1, 1].
+/// Returns 0 (no evidence) on mismatched lengths, like the kernels in
+/// `msc_dsp::corr`.
 pub fn multibit_corr_norm(a: &[i32], b: &[i32]) -> f64 {
-    assert_eq!(a.len(), b.len());
-    if a.is_empty() {
+    if a.is_empty() || a.len() != b.len() {
         return 0.0;
     }
     let dot: i64 = a.iter().zip(b).map(|(&x, &y)| x as i64 * y as i64).sum();
@@ -179,6 +180,10 @@ pub struct Matcher {
     bank: TemplateBank,
     mode: MatchMode,
     lag_search: usize,
+    /// Per-template multi-bit quantizations (bank order), computed once
+    /// at construction for `MatchMode::MultiBit` instead of requantizing
+    /// every template on every scored window. Empty in other modes.
+    multibit_cache: Vec<Vec<i32>>,
 }
 
 impl Matcher {
@@ -187,7 +192,15 @@ impl Matcher {
     /// the power-dependent shift of the energy-threshold crossing.
     pub fn new(bank: TemplateBank, mode: MatchMode) -> Self {
         let lag_search = bank.config().adc_rate.samples_in(4.0e-6).max(3);
-        Matcher { bank, mode, lag_search }
+        let multibit_cache = match mode {
+            MatchMode::MultiBit(bits) => bank
+                .templates()
+                .iter()
+                .map(|t| multibit_quantize(&t.normalized, 0.0, 1.0, bits))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Matcher { bank, mode, lag_search, multibit_cache }
     }
 
     /// Overrides the lag-search radius.
@@ -226,19 +239,18 @@ impl Matcher {
                 }
             }
             MatchMode::Quantized => {
-                let q = msc_dsp::corr::sign_quantize(body, dc);
+                // One quantize-and-pack pass, then XOR+popcount against
+                // the bank's pre-packed templates.
+                let q = msc_dsp::corr::PackedBits::from_signal(body, dc);
                 for t in self.bank.templates() {
-                    out.set(t.protocol, msc_dsp::corr::quantized_corr_norm(&q, &t.quantized));
+                    out.set(t.protocol, t.packed.corr_norm(&q));
                 }
             }
             MatchMode::MultiBit(bits) => {
                 let rms = msc_dsp::corr::rms_about(body, dc);
                 let q = multibit_quantize(body, dc, rms, bits);
-                for t in self.bank.templates() {
-                    // Quantize the stored normalized template on the fly
-                    // (templates are zero-mean unit-RMS already).
-                    let tq = multibit_quantize(&t.normalized, 0.0, 1.0, bits);
-                    out.set(t.protocol, multibit_corr_norm(&q, &tq));
+                for (t, tq) in self.bank.templates().iter().zip(&self.multibit_cache) {
+                    out.set(t.protocol, multibit_corr_norm(&q, tq));
                 }
             }
         }
@@ -251,10 +263,35 @@ impl Matcher {
     /// nearby alignments, as a continuously-running correlator would.
     pub fn score_acquired(&self, acquired: &[f64], jitter: isize) -> Option<Scores> {
         let base = detect_start(acquired)? as isize + jitter;
-        let mut best: Option<Scores> = None;
+        let best = self.best_over_lags(acquired, base);
+        if let Some(s) = &best {
+            record_scores(s);
+        }
+        best
+    }
+
+    /// Scores a window at an explicit start offset with the lag search,
+    /// without running edge detection (the streaming matcher has its
+    /// own detector).
+    pub fn score_acquired_at(&self, acquired: &[f64], start: usize) -> Option<Scores> {
+        let best = self.best_over_lags(acquired, start as isize);
+        if let Some(s) = &best {
+            record_scores(s);
+        }
+        best
+    }
+
+    /// Per-protocol maximum score over window starts within `lag_search`
+    /// of `base` (clamped to the buffer).
+    fn best_over_lags(&self, acquired: &[f64], base: isize) -> Option<Scores> {
         let lag = self.lag_search as isize;
-        for d in -lag..=lag {
-            let start = (base + d).clamp(0, acquired.len() as isize) as usize;
+        let lo = (base - lag).clamp(0, acquired.len() as isize) as usize;
+        let hi = (base + lag).clamp(0, acquired.len() as isize) as usize;
+        if self.mode == MatchMode::FullPrecision {
+            return self.max_scores_sliding(acquired, lo, hi);
+        }
+        let mut best: Option<Scores> = None;
+        for start in lo..=hi {
             if let Some(s) = self.score_window(&acquired[start..]) {
                 best = Some(match best {
                     None => s,
@@ -269,38 +306,40 @@ impl Matcher {
                 });
             }
         }
-        if let Some(s) = &best {
-            record_scores(s);
-        }
         best
     }
 
-    /// Scores a window at an explicit start offset with the lag search,
-    /// without running edge detection (the streaming matcher has its
-    /// own detector).
-    pub fn score_acquired_at(&self, acquired: &[f64], start: usize) -> Option<Scores> {
-        let mut best: Option<Scores> = None;
-        let lag = self.lag_search as isize;
-        for d in -lag..=lag {
-            let s = (start as isize + d).clamp(0, acquired.len() as isize) as usize;
-            if let Some(scores) = self.score_window(&acquired[s..]) {
-                best = Some(match best {
-                    None => scores,
-                    Some(mut acc) => {
-                        for p in Protocol::ALL {
-                            if scores.get(p) > acc.get(p) {
-                                acc.set(p, scores.get(p));
-                            }
-                        }
-                        acc
-                    }
-                });
+    /// Full-precision lag search as one sliding correlation per template.
+    ///
+    /// Pearson correlation is invariant to positive-affine transforms, so
+    /// the per-offset DC-removal/normalization [`Matcher::score_window`]
+    /// performs cannot change the value: the score at window start `s`
+    /// equals `normalized_corr` of the *raw* matching window against the
+    /// template. The whole lag search therefore collapses to
+    /// `msc_dsp::corr::sliding_corr` over the covered region (prefix-sum
+    /// or FFT kernel), instead of re-deriving mean/RMS at every offset.
+    fn max_scores_sliding(&self, acquired: &[f64], lo: usize, hi: usize) -> Option<Scores> {
+        let cfg = self.bank.config();
+        let body_start = lo + cfg.l_p;
+        let body_end = (hi + cfg.total()).min(acquired.len());
+        if body_start >= body_end {
+            return None;
+        }
+        let region = &acquired[body_start..body_end];
+        if region.len() < cfg.l_m {
+            return None;
+        }
+        let mut out = Scores::default();
+        let mut any = false;
+        for t in self.bank.templates() {
+            let vals = msc_dsp::corr::sliding_corr(region, &t.normalized);
+            let m = vals.iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v));
+            if m.is_finite() {
+                out.set(t.protocol, m);
+                any = true;
             }
         }
-        if let Some(s) = &best {
-            record_scores(s);
-        }
-        best
+        any.then_some(out)
     }
 
     /// Blind identification (argmax).

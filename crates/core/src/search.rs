@@ -17,19 +17,22 @@ pub struct LabeledScores {
     pub scores: Scores,
 }
 
-/// Collects labeled scores for a batch of acquisitions.
+/// Collects labeled scores for a batch of acquisitions. Traces are
+/// scored on the msc-par worker pool; each trace is scored independently
+/// and results keep input order, so the output is identical at any
+/// thread count.
 pub fn collect_scores(
     matcher: &Matcher,
     traces: &[(Protocol, Vec<f64>, isize)],
 ) -> Vec<LabeledScores> {
-    traces
-        .iter()
-        .filter_map(|(truth, acquired, jitter)| {
-            matcher
-                .score_acquired(acquired, *jitter)
-                .map(|scores| LabeledScores { truth: *truth, scores })
-        })
-        .collect()
+    msc_par::par_map(traces, |(truth, acquired, jitter)| {
+        matcher
+            .score_acquired(acquired, *jitter)
+            .map(|scores| LabeledScores { truth: *truth, scores })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Average per-protocol identification accuracy of a rule over labeled
@@ -128,8 +131,11 @@ pub struct SearchResult {
 pub fn search_ordered_rule(data: &[LabeledScores], grid: &[f64]) -> SearchResult {
     assert!(!grid.is_empty());
     let blind = blind_accuracy(data);
-    let mut best: Option<(OrderedRule, f64)> = None;
-    for order in permutations() {
+    // Each matching order's greedy threshold tuning is independent; run
+    // the 24 of them on the worker pool. Results come back in permutation
+    // order, and the strictly-greater fold below picks the same winner
+    // (earliest maximum) the sequential loop picked.
+    let tuned: Vec<(OrderedRule, f64)> = msc_par::par_map(&permutations(), |order| {
         let mut steps: Vec<OrderStep> = order
             .iter()
             .map(|&protocol| OrderStep { protocol, threshold: f64::INFINITY })
@@ -157,6 +163,10 @@ pub fn search_ordered_rule(data: &[LabeledScores], grid: &[f64]) -> SearchResult
         }
         let rule = OrderedRule { steps };
         let acc = rule_accuracy(&rule, data);
+        (rule, acc)
+    });
+    let mut best: Option<(OrderedRule, f64)> = None;
+    for (rule, acc) in tuned {
         if best.as_ref().map(|(_, a)| acc > *a).unwrap_or(true) {
             best = Some((rule, acc));
         }

@@ -69,6 +69,10 @@ pub struct Template {
     pub normalized: Vec<f64>,
     /// 1-bit quantized matching window (±1).
     pub quantized: Vec<i8>,
+    /// The same ±1 window bit-packed 64 signs per word, so the quantized
+    /// correlation runs as XOR + popcount (built once here instead of
+    /// re-deriving per matched window).
+    pub packed: msc_dsp::corr::PackedBits,
 }
 
 /// The tag's template bank.
@@ -178,10 +182,13 @@ impl TemplateBank {
                 let dc = msc_dsp::corr::dc_estimate(&window[..config.l_p]);
                 let body = &window[config.l_p..];
                 let rms = msc_dsp::corr::rms_about(body, dc);
+                let quantized = msc_dsp::corr::sign_quantize(body, dc);
+                let packed = msc_dsp::corr::PackedBits::from_signs(&quantized);
                 Template {
                     protocol: p,
                     normalized: msc_dsp::corr::normalize_window(body, dc, rms),
-                    quantized: msc_dsp::corr::sign_quantize(body, dc),
+                    quantized,
+                    packed,
                 }
             })
             .collect();
@@ -244,6 +251,10 @@ mod tests {
             assert_eq!(t.normalized.len(), 120);
             assert_eq!(t.quantized.len(), 120);
             assert!(t.quantized.iter().all(|&q| q == 1 || q == -1));
+            // The packed form agrees with the scalar quantized window.
+            assert_eq!(t.packed.len(), 120);
+            assert_eq!(t.packed.corr(&t.packed), 120);
+            assert_eq!(t.packed.corr(&msc_dsp::corr::PackedBits::from_signs(&t.quantized)), 120);
         }
     }
 

@@ -2,18 +2,36 @@
 //!
 //! Two arithmetic paths mirror the paper's two implementations:
 //!
-//! * **Full precision** ([`normalized_corr`]): floating-point normalized
-//!   cross-correlation — "if computation resources are not a problem"
-//!   (paper §2.2.2, Fig. 5b).
-//! * **Sign-quantized** ([`sign_quantize`], [`quantized_corr`]): each
-//!   sample quantized to ±1 so multipliers become adders — the nano-FPGA
-//!   implementation (paper §2.3.1, Table 2).
+//! * **Full precision** ([`normalized_corr`], [`sliding_corr`]):
+//!   floating-point normalized cross-correlation — "if computation
+//!   resources are not a problem" (paper §2.2.2, Fig. 5b). The sliding
+//!   form keeps per-offset statistics in prefix sums (O(N) normalization
+//!   instead of O(N·L)) and switches the remaining multiply-adds to an
+//!   FFT cross-correlation when the template is long enough to pay for
+//!   the transforms (extended 40 µs windows).
+//! * **Sign-quantized** ([`sign_quantize`], [`quantized_corr`],
+//!   [`PackedBits`]): each sample quantized to ±1 so multipliers become
+//!   adders — the nano-FPGA implementation (paper §2.3.1, Table 2). The
+//!   packed form stores 64 signs per machine word, making the correlation
+//!   an XOR + popcount per word — the software analogue of the paper's
+//!   adder tree.
+//!
+//! Length mismatches in the pairwise kernels return the error-signaling
+//! value 0.0 (no correlation evidence) instead of panicking; the matcher
+//! can reach mismatched windows near buffer ends during its lag search.
+
+use crate::complex::Complex64;
+use crate::fft::Fft;
 
 /// Pearson-style normalized cross-correlation of two equal-length windows.
 ///
-/// Returns a value in `[-1, 1]`; 0 when either window has zero variance.
+/// Returns a value in `[-1, 1]`; 0 when either window has zero variance
+/// **or when the lengths differ** (no evidence, not a panic — mismatched
+/// windows are reachable near buffer ends).
 pub fn normalized_corr(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "correlation windows must have equal length");
+    if a.len() != b.len() {
+        return 0.0;
+    }
     let n = a.len();
     if n == 0 {
         return 0.0;
@@ -39,36 +57,291 @@ pub fn normalized_corr(a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
+/// Smallest power of two ≥ `n` (and ≥ 2, so it is a valid FFT size).
+fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(2)
+}
+
+/// Should [`sliding_corr`] take the FFT path? Direct costs ~N·L
+/// multiply-adds; the FFT path costs three m·log2(m) transforms of size
+/// m = next_pow2(N+L) with complex arithmetic (~6× per butterfly).
+fn fft_pays_off(n: usize, l: usize) -> bool {
+    if l < 32 {
+        return false;
+    }
+    let m = next_pow2(n + l);
+    let fft_cost = 6 * 3 * m * (m.trailing_zeros() as usize).max(1);
+    n * l > fft_cost
+}
+
 /// Slides `template` over `signal` and returns the normalized correlation
 /// at each offset (`signal.len() - template.len() + 1` values).
+///
+/// Per-offset mean/variance of the signal segment come from prefix sums
+/// (O(N) total); the numerator either stays a direct dot product or moves
+/// to an FFT cross-correlation when the window sizes justify it (see
+/// [`sliding_corr_direct`] / [`sliding_corr_fft`], which this dispatches
+/// between). All three produce the same values up to f64 rounding.
 pub fn sliding_corr(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if fft_pays_off(signal.len(), template.len()) {
+        sliding_corr_fft(signal, template)
+    } else {
+        sliding_corr_direct(signal, template)
+    }
+}
+
+/// Prefix-sum statistics for the sliding kernels: per-offset segment sum
+/// and sum-of-squares, plus the centered template and its variance sum.
+struct SlidingPrep {
+    /// Template minus its mean (so Σ tc = 0 and the numerator needs no
+    /// segment-mean correction).
+    tc: Vec<f64>,
+    /// Σ tc² — the template's variance numerator.
+    var_t: f64,
+    /// Prefix sums of the signal (s1[k] = Σ signal[..k]).
+    s1: Vec<f64>,
+    /// Prefix sums of the squared signal.
+    s2: Vec<f64>,
+}
+
+fn sliding_prep(signal: &[f64], template: &[f64]) -> SlidingPrep {
+    let mt = template.iter().sum::<f64>() / template.len() as f64;
+    let tc: Vec<f64> = template.iter().map(|&t| t - mt).collect();
+    let var_t: f64 = tc.iter().map(|&t| t * t).sum();
+    let mut s1 = Vec::with_capacity(signal.len() + 1);
+    let mut s2 = Vec::with_capacity(signal.len() + 1);
+    let (mut a1, mut a2) = (0.0f64, 0.0f64);
+    s1.push(0.0);
+    s2.push(0.0);
+    for &x in signal {
+        a1 += x;
+        a2 += x * x;
+        s1.push(a1);
+        s2.push(a2);
+    }
+    SlidingPrep { tc, var_t, s1, s2 }
+}
+
+/// Normalizes raw per-offset dot products `num[off] = Σ s[off+i]·tc[i]`
+/// into Pearson correlations using the prefix-sum statistics.
+fn normalize_sliding(prep: &SlidingPrep, l: usize, num: impl Iterator<Item = f64>) -> Vec<f64> {
+    num.enumerate()
+        .map(|(off, n)| {
+            let seg1 = prep.s1[off + l] - prep.s1[off];
+            let seg2 = prep.s2[off + l] - prep.s2[off];
+            // Segment variance numerator; clamp tiny negative rounding.
+            let var_s = (seg2 - seg1 * seg1 / l as f64).max(0.0);
+            let denom = (var_s * prep.var_t).sqrt();
+            if denom < 1e-30 {
+                0.0
+            } else {
+                n / denom
+            }
+        })
+        .collect()
+}
+
+/// [`sliding_corr`] with the direct O(N·L) dot-product numerator and
+/// prefix-sum normalization.
+pub fn sliding_corr_direct(signal: &[f64], template: &[f64]) -> Vec<f64> {
     if template.is_empty() || signal.len() < template.len() {
         return Vec::new();
     }
-    (0..=signal.len() - template.len())
-        .map(|off| normalized_corr(&signal[off..off + template.len()], template))
-        .collect()
+    let l = template.len();
+    let prep = sliding_prep(signal, template);
+    let nums = (0..=signal.len() - l)
+        .map(|off| signal[off..off + l].iter().zip(&prep.tc).map(|(&s, &t)| s * t).sum::<f64>());
+    normalize_sliding(&prep, l, nums)
+}
+
+/// [`sliding_corr`] with the numerator computed as one FFT
+/// cross-correlation (`IFFT(FFT(signal)·conj(FFT(template)))`), O(m·log m)
+/// for m = next_pow2(N+L). Exact up to f64 rounding (≪ 1e-9 for the
+/// window sizes used here).
+pub fn sliding_corr_fft(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let l = template.len();
+    let n = signal.len();
+    let prep = sliding_prep(signal, template);
+    let m = next_pow2(n + l);
+    let fft = Fft::new(m);
+    let mut sa = vec![Complex64::ZERO; m];
+    for (d, &x) in sa.iter_mut().zip(signal) {
+        *d = Complex64::new(x, 0.0);
+    }
+    let mut tb = vec![Complex64::ZERO; m];
+    for (d, &x) in tb.iter_mut().zip(&prep.tc) {
+        *d = Complex64::new(x, 0.0);
+    }
+    fft.forward(&mut sa);
+    fft.forward(&mut tb);
+    for (a, b) in sa.iter_mut().zip(&tb) {
+        *a *= b.conj();
+    }
+    fft.inverse(&mut sa);
+    let nums = sa[..=n - l].iter().map(|c| c.re);
+    normalize_sliding(&prep, l, nums)
+}
+
+/// Complex sliding cross-correlation: `out[off] = Σ_i samples[off+i] ·
+/// conj(probe[i])` for every full-overlap offset. This is the inner sum
+/// of a matched filter; callers normalize by energies themselves. Uses
+/// the FFT when the sizes justify it, a direct loop otherwise.
+pub fn complex_sliding_corr(samples: &[Complex64], probe: &[Complex64]) -> Vec<Complex64> {
+    if probe.is_empty() || samples.len() < probe.len() {
+        return Vec::new();
+    }
+    let n = samples.len();
+    let l = probe.len();
+    if !fft_pays_off(n, l) {
+        return (0..=n - l)
+            .map(|off| {
+                samples[off..off + l]
+                    .iter()
+                    .zip(probe)
+                    .fold(Complex64::ZERO, |acc, (&s, &p)| acc + s * p.conj())
+            })
+            .collect();
+    }
+    let m = next_pow2(n + l);
+    let fft = Fft::new(m);
+    let mut sa = vec![Complex64::ZERO; m];
+    sa[..n].copy_from_slice(samples);
+    let mut pb = vec![Complex64::ZERO; m];
+    pb[..l].copy_from_slice(probe);
+    fft.forward(&mut sa);
+    fft.forward(&mut pb);
+    for (a, b) in sa.iter_mut().zip(&pb) {
+        *a *= b.conj();
+    }
+    fft.inverse(&mut sa);
+    sa.truncate(n - l + 1);
+    sa
+}
+
+/// Per-offset signal energies for a sliding window of length `l`:
+/// `out[off] = Σ_i |samples[off+i]|²`, from one prefix-sum pass.
+pub fn sliding_energy(samples: &[Complex64], l: usize) -> Vec<f64> {
+    if l == 0 || samples.len() < l {
+        return Vec::new();
+    }
+    let mut prefix = Vec::with_capacity(samples.len() + 1);
+    prefix.push(0.0f64);
+    let mut acc = 0.0;
+    for s in samples {
+        acc += s.norm_sqr();
+        prefix.push(acc);
+    }
+    (0..=samples.len() - l).map(|off| (prefix[off + l] - prefix[off]).max(0.0)).collect()
 }
 
 /// Quantizes samples to ±1 around a reference level (the DC estimate from
 /// the preprocessing window). This is the 1-bit quantization of §2.3.1.
+///
+/// Tie-breaking is part of the contract: `x == dc` quantizes to **+1**
+/// (the comparison is `x >= dc`). [`PackedBits`] uses the identical rule,
+/// so the packed and scalar paths agree bit-for-bit.
 pub fn sign_quantize(signal: &[f64], dc: f64) -> Vec<i8> {
     signal.iter().map(|&x| if x >= dc { 1 } else { -1 }).collect()
 }
 
 /// Integer correlation of two ±1 sequences: the count of agreements minus
 /// disagreements. On the FPGA this is pure adders (no multipliers).
+///
+/// Returns 0 (no evidence) when the lengths differ.
 pub fn quantized_corr(a: &[i8], b: &[i8]) -> i32 {
-    assert_eq!(a.len(), b.len(), "quantized windows must have equal length");
+    if a.len() != b.len() {
+        return 0;
+    }
     a.iter().zip(b).map(|(&x, &y)| if x == y { 1i32 } else { -1i32 }).sum()
 }
 
 /// Normalized form of [`quantized_corr`] in `[-1, 1]`.
 pub fn quantized_corr_norm(a: &[i8], b: &[i8]) -> f64 {
-    if a.is_empty() {
+    if a.is_empty() || a.len() != b.len() {
         return 0.0;
     }
     quantized_corr(a, b) as f64 / a.len() as f64
+}
+
+/// A ±1 sequence bit-packed 64 signs per `u64` word (+1 → bit set, −1 →
+/// bit clear). [`PackedBits::corr`] is then an XOR + popcount per word —
+/// ~64× fewer operations than the scalar [`quantized_corr`] — which is
+/// the software analogue of the paper's "multipliers become adders"
+/// argument taken one step further.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// Packs a ±1 sequence (any positive value reads as +1; zero or
+    /// negative as −1, matching [`sign_quantize`]'s output domain).
+    pub fn from_signs(signs: &[i8]) -> Self {
+        let mut words = vec![0u64; signs.len().div_ceil(64)];
+        for (i, &s) in signs.iter().enumerate() {
+            if s > 0 {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        PackedBits { words, len: signs.len() }
+    }
+
+    /// Quantizes and packs in one pass, with the same tie rule as
+    /// [`sign_quantize`]: `x >= dc` sets the bit (+1).
+    pub fn from_signal(signal: &[f64], dc: f64) -> Self {
+        let mut words = vec![0u64; signal.len().div_ceil(64)];
+        for (i, &x) in signal.iter().enumerate() {
+            if x >= dc {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        PackedBits { words, len: signal.len() }
+    }
+
+    /// Number of packed signs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no signs are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Agreements minus disagreements against another packed sequence:
+    /// `len − 2·popcount(a XOR b)`. Identical to [`quantized_corr`] on
+    /// the unpacked sequences; returns 0 when the lengths differ.
+    pub fn corr(&self, other: &PackedBits) -> i32 {
+        if self.len != other.len {
+            return 0;
+        }
+        let mut disagree = 0u32;
+        for (w, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut x = a ^ b;
+            // Mask bits past the sequence end in the last word (both
+            // operands should have them clear; be defensive anyway).
+            if (w + 1) * 64 > self.len {
+                let valid = self.len - w * 64;
+                if valid < 64 {
+                    x &= (1u64 << valid) - 1;
+                }
+            }
+            disagree += x.count_ones();
+        }
+        self.len as i32 - 2 * disagree as i32
+    }
+
+    /// Normalized form of [`PackedBits::corr`] in `[-1, 1]`.
+    pub fn corr_norm(&self, other: &PackedBits) -> f64 {
+        if self.is_empty() || self.len != other.len {
+            return 0.0;
+        }
+        self.corr(other) as f64 / self.len as f64
+    }
 }
 
 /// Estimates DC as the mean of a preprocessing window (paper: the first
@@ -99,6 +372,26 @@ pub fn rms_about(window: &[f64], dc: f64) -> f64 {
 mod tests {
     use super::*;
 
+    /// The pre-rewrite O(N·L) reference: per-offset normalized_corr.
+    fn sliding_corr_naive(signal: &[f64], template: &[f64]) -> Vec<f64> {
+        if template.is_empty() || signal.len() < template.len() {
+            return Vec::new();
+        }
+        (0..=signal.len() - template.len())
+            .map(|off| normalized_corr(&signal[off..off + template.len()], template))
+            .collect()
+    }
+
+    fn test_signal(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / 2f64.powi(30)) - 1.0 + 0.3
+            })
+            .collect()
+    }
+
     #[test]
     fn perfect_correlation_is_one() {
         let a = vec![1.0, 2.0, 3.0, 4.0, 2.0];
@@ -127,6 +420,13 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_lengths_yield_zero_not_panic() {
+        assert_eq!(normalized_corr(&[1.0, 2.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(quantized_corr(&[1, -1], &[1]), 0);
+        assert_eq!(quantized_corr_norm(&[1, -1], &[1]), 0.0);
+    }
+
+    #[test]
     fn sliding_corr_finds_embedded_template() {
         let template = vec![1.0, -1.0, 1.0, 1.0, -1.0];
         let mut signal = vec![0.0; 20];
@@ -142,17 +442,108 @@ mod tests {
     #[test]
     fn sliding_corr_short_signal_empty() {
         assert!(sliding_corr(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(sliding_corr_fft(&[1.0], &[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn prefix_sum_matches_naive() {
+        let signal = test_signal(400, 7);
+        let template = test_signal(60, 9);
+        let fast = sliding_corr_direct(&signal, &template);
+        let naive = sliding_corr_naive(&signal, &template);
+        assert_eq!(fast.len(), naive.len());
+        for (f, n) in fast.iter().zip(&naive) {
+            assert!((f - n).abs() < 1e-9, "{f} vs {n}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let signal = test_signal(700, 3);
+        let template = test_signal(120, 5);
+        let fast = sliding_corr_fft(&signal, &template);
+        let direct = sliding_corr_direct(&signal, &template);
+        assert_eq!(fast.len(), direct.len());
+        for (f, d) in fast.iter().zip(&direct) {
+            assert!((f - d).abs() < 1e-9, "{f} vs {d}");
+        }
+    }
+
+    #[test]
+    fn complex_sliding_corr_matches_direct() {
+        // Force both paths across the size heuristic and compare.
+        let samples: Vec<Complex64> = test_signal(900, 11)
+            .iter()
+            .zip(test_signal(900, 12).iter())
+            .map(|(&a, &b)| Complex64::new(a, b))
+            .collect();
+        let probe: Vec<Complex64> = samples[100..100 + 200].to_vec();
+        let got = complex_sliding_corr(&samples, &probe);
+        assert_eq!(got.len(), 900 - 200 + 1);
+        // Direct oracle at a few offsets.
+        for &off in &[0usize, 100, 250, 700] {
+            let want = samples[off..off + 200]
+                .iter()
+                .zip(&probe)
+                .fold(Complex64::ZERO, |acc, (&s, &p)| acc + s * p.conj());
+            assert!((got[off] - want).abs() < 1e-8, "off {off}");
+        }
+        // The self-match offset has the largest magnitude.
+        let best = (0..got.len()).max_by(|&a, &b| got[a].abs().partial_cmp(&got[b].abs()).unwrap());
+        assert_eq!(best, Some(100));
+    }
+
+    #[test]
+    fn sliding_energy_matches_direct() {
+        let samples: Vec<Complex64> =
+            test_signal(50, 4).iter().map(|&a| Complex64::new(a, -a * 0.5)).collect();
+        let got = sliding_energy(&samples, 7);
+        for (off, &e) in got.iter().enumerate() {
+            let want: f64 = samples[off..off + 7].iter().map(|s| s.norm_sqr()).sum();
+            assert!((e - want).abs() < 1e-10);
+        }
     }
 
     #[test]
     fn quantization_and_integer_corr() {
         let sig = vec![0.2, 0.8, 0.1, 0.9, 0.5];
         let q = sign_quantize(&sig, 0.5);
+        // The 0.5 sample ties with dc and must quantize to +1.
         assert_eq!(q, vec![-1, 1, -1, 1, 1]);
         assert_eq!(quantized_corr(&q, &q), 5);
         let inv: Vec<i8> = q.iter().map(|&x| -x).collect();
         assert_eq!(quantized_corr(&q, &inv), -5);
         assert!((quantized_corr_norm(&q, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_corr_matches_scalar() {
+        for n in [1usize, 5, 63, 64, 65, 120, 128, 200] {
+            let a = sign_quantize(&test_signal(n, 21), 0.3);
+            let b = sign_quantize(&test_signal(n, 22), 0.3);
+            let pa = PackedBits::from_signs(&a);
+            let pb = PackedBits::from_signs(&b);
+            assert_eq!(pa.corr(&pb), quantized_corr(&a, &b), "n={n}");
+            assert_eq!(pa.len(), n);
+            assert!((pa.corr_norm(&pb) - quantized_corr_norm(&a, &b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn packed_from_signal_matches_quantize_then_pack() {
+        let sig = test_signal(130, 33);
+        let dc = sig[64]; // force an exact tie at one sample
+        let via_scalar = PackedBits::from_signs(&sign_quantize(&sig, dc));
+        let direct = PackedBits::from_signal(&sig, dc);
+        assert_eq!(via_scalar, direct);
+    }
+
+    #[test]
+    fn packed_mismatched_lengths_yield_zero() {
+        let a = PackedBits::from_signs(&[1, -1, 1]);
+        let b = PackedBits::from_signs(&[1, -1]);
+        assert_eq!(a.corr(&b), 0);
+        assert_eq!(a.corr_norm(&b), 0.0);
     }
 
     #[test]
@@ -183,5 +574,6 @@ mod tests {
         assert_eq!(dc_estimate(&[]), 0.0);
         assert_eq!(rms_about(&[], 0.0), 0.0);
         assert_eq!(quantized_corr_norm(&[], &[]), 0.0);
+        assert!(PackedBits::from_signs(&[]).is_empty());
     }
 }

@@ -36,6 +36,10 @@ pub struct RunManifest {
     pub seed: u64,
     /// Whether the larger `--full` Monte-Carlo preset was used.
     pub full: bool,
+    /// Monte-Carlo worker-pool size (0 when the harness ran without a
+    /// configured pool). Results are thread-count-invariant; this is
+    /// recorded for performance provenance only.
+    pub threads: usize,
     /// Host OS (compile-time).
     pub host_os: String,
     /// Host architecture (compile-time).
@@ -59,10 +63,17 @@ impl RunManifest {
             n,
             seed,
             full,
+            threads: 0,
             host_os: std::env::consts::OS.to_string(),
             host_arch: std::env::consts::ARCH.to_string(),
             experiments: Vec::new(),
         }
+    }
+
+    /// Sets the recorded worker-pool size.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Records one completed experiment.
@@ -82,6 +93,7 @@ impl RunManifest {
         let _ = writeln!(out, "  \"n\": {},", self.n);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"full\": {},", self.full);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"host_os\": \"{}\",", json_escape(&self.host_os));
         let _ = writeln!(out, "  \"host_arch\": \"{}\",", json_escape(&self.host_arch));
         out.push_str("  \"experiments\": [\n");

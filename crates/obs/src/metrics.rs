@@ -9,7 +9,7 @@
 //! doesn't need to thread experiment identity through its signatures.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::Instant;
 
@@ -134,11 +134,46 @@ pub struct Record {
     pub value: Value,
 }
 
+/// Internal storage slot. Counters are plain atomics so the increment
+/// path never takes an exclusive lock; gauges and histograms carry their
+/// own fine-grained locks. The map itself sits behind an `RwLock` that is
+/// write-locked only when a *new* key is first inserted — steady-state
+/// recording from parallel Monte-Carlo workers is read-lock + per-slot
+/// atomic/mutex, so workers don't serialize on one registry mutex.
+enum Slot {
+    Counter(AtomicU64),
+    Gauge(Mutex<f64>),
+    Histogram(Mutex<Histogram>),
+}
+
+impl Slot {
+    fn to_value(&self) -> Value {
+        match self {
+            Slot::Counter(c) => Value::Counter(c.load(Ordering::Relaxed)),
+            Slot::Gauge(g) => Value::Gauge(*g.lock().unwrap()),
+            Slot::Histogram(h) => Value::Histogram(h.lock().unwrap().clone()),
+        }
+    }
+}
+
+/// Saturating add on an atomic counter (CAS loop near the ceiling, plain
+/// `fetch_add` otherwise — overflow is 2^64 events away in practice).
+fn atomic_saturating_add(c: &AtomicU64, delta: u64) {
+    let mut cur = c.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(delta);
+        match c.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
 /// The metric store. Usually used through [`Registry::global`] and the
 /// free recording functions, but owned registries work too (tests).
 #[derive(Default)]
 pub struct Registry {
-    inner: Mutex<BTreeMap<Key, Value>>,
+    inner: RwLock<BTreeMap<Key, Slot>>,
 }
 
 impl Registry {
@@ -153,59 +188,89 @@ impl Registry {
         GLOBAL.get_or_init(Registry::new)
     }
 
-    /// Adds `delta` to a counter (saturating at `u64::MAX`).
+    /// Adds `delta` to a counter (saturating at `u64::MAX`). Lock-free on
+    /// the increment path once the counter exists.
     pub fn counter_add(&self, key: Key, delta: u64) {
-        let mut map = self.inner.lock().unwrap();
-        let v = map.entry(key).or_insert(Value::Counter(0));
-        match v {
-            Value::Counter(c) => *c = c.saturating_add(delta),
+        {
+            let map = self.inner.read().unwrap();
+            if let Some(slot) = map.get(&key) {
+                match slot {
+                    Slot::Counter(c) => atomic_saturating_add(c, delta),
+                    _ => panic!("metric type mismatch: counter_add on non-counter"),
+                }
+                return;
+            }
+        }
+        let mut map = self.inner.write().unwrap();
+        match map.entry(key).or_insert_with(|| Slot::Counter(AtomicU64::new(0))) {
+            Slot::Counter(c) => atomic_saturating_add(c, delta),
             _ => panic!("metric type mismatch: counter_add on non-counter"),
         }
     }
 
     /// Sets a gauge.
     pub fn gauge_set(&self, key: Key, value: f64) {
-        let mut map = self.inner.lock().unwrap();
-        let v = map.entry(key).or_insert(Value::Gauge(0.0));
-        match v {
-            Value::Gauge(g) => *g = value,
+        {
+            let map = self.inner.read().unwrap();
+            if let Some(slot) = map.get(&key) {
+                match slot {
+                    Slot::Gauge(g) => *g.lock().unwrap() = value,
+                    _ => panic!("metric type mismatch: gauge_set on non-gauge"),
+                }
+                return;
+            }
+        }
+        let mut map = self.inner.write().unwrap();
+        match map.entry(key).or_insert_with(|| Slot::Gauge(Mutex::new(0.0))) {
+            Slot::Gauge(g) => *g.get_mut().unwrap() = value,
             _ => panic!("metric type mismatch: gauge_set on non-gauge"),
         }
     }
 
     /// Observes one histogram sample.
     pub fn hist_observe(&self, key: Key, value: f64, edges: &'static [f64]) {
-        let mut map = self.inner.lock().unwrap();
-        let v = map.entry(key).or_insert_with(|| Value::Histogram(Histogram::new(edges)));
-        match v {
-            Value::Histogram(h) => h.observe(value),
+        {
+            let map = self.inner.read().unwrap();
+            if let Some(slot) = map.get(&key) {
+                match slot {
+                    Slot::Histogram(h) => h.lock().unwrap().observe(value),
+                    _ => panic!("metric type mismatch: hist_observe on non-histogram"),
+                }
+                return;
+            }
+        }
+        let mut map = self.inner.write().unwrap();
+        match map.entry(key).or_insert_with(|| Slot::Histogram(Mutex::new(Histogram::new(edges)))) {
+            Slot::Histogram(h) => h.get_mut().unwrap().observe(value),
             _ => panic!("metric type mismatch: hist_observe on non-histogram"),
         }
     }
 
-    /// A sorted snapshot of every metric (deterministic export order).
+    /// A sorted snapshot of every metric. Export order stays
+    /// deterministic (BTreeMap key order) regardless of how many workers
+    /// recorded concurrently.
     pub fn snapshot(&self) -> Vec<Record> {
         self.inner
-            .lock()
+            .read()
             .unwrap()
             .iter()
-            .map(|(k, v)| Record { key: k.clone(), value: v.clone() })
+            .map(|(k, v)| Record { key: k.clone(), value: v.to_value() })
             .collect()
     }
 
     /// Clears all metrics (start of a run; tests).
     pub fn reset(&self) {
-        self.inner.lock().unwrap().clear();
+        self.inner.write().unwrap().clear();
     }
 
     /// Number of distinct metrics.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.read().unwrap().len()
     }
 
     /// True when no metrics are recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        self.inner.read().unwrap().is_empty()
     }
 }
 
@@ -357,6 +422,22 @@ mod tests {
         assert_eq!(rec.value, Value::Counter(5));
         Registry::global().reset();
         set_experiment("");
+    }
+
+    #[test]
+    fn concurrent_counter_adds_all_land() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        r.counter_add(k("conc"), 1);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap[0].value, Value::Counter(40_000));
     }
 
     #[test]

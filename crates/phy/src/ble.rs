@@ -149,15 +149,13 @@ impl BleDemodulator {
         if samples.len() < probe.len() {
             return None;
         }
+        // FFT matched filter + prefix-sum energies (msc_dsp kernels)
+        // instead of the former O(N·L) per-offset loop.
         let probe_energy: f64 = probe.iter().map(|s| s.norm_sqr()).sum();
+        let accs = msc_dsp::corr::complex_sliding_corr(samples, probe);
+        let energies = msc_dsp::corr::sliding_energy(samples, probe.len());
         let mut best = (0usize, 0.0f64);
-        for off in 0..=samples.len() - probe.len() {
-            let mut acc = Complex64::ZERO;
-            let mut energy = 0.0;
-            for (i, &pr) in probe.iter().enumerate() {
-                acc += samples[off + i] * pr.conj();
-                energy += samples[off + i].norm_sqr();
-            }
+        for (off, (acc, &energy)) in accs.iter().zip(&energies).enumerate() {
             let denom = (probe_energy * energy).sqrt();
             if denom > 1e-20 {
                 let score = acc.abs() / denom;

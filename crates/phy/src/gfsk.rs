@@ -152,9 +152,10 @@ impl Gfsk {
         if disc.len() < template.len() {
             return None;
         }
+        // One sliding-correlation pass (prefix-sum/FFT kernel) instead of
+        // re-deriving per-offset statistics.
         let mut best = (0usize, f64::NEG_INFINITY);
-        for off in 0..=disc.len() - template.len() {
-            let score = msc_dsp::corr::normalized_corr(&disc[off..off + template.len()], &template);
+        for (off, &score) in msc_dsp::corr::sliding_corr(&disc, &template).iter().enumerate() {
             if score > best.1 {
                 best = (off, score);
             }

@@ -321,14 +321,12 @@ impl WifiNDemodulator {
         }
         let probe_energy: f64 = probe.iter().map(|s| s.norm_sqr()).sum();
         let mut best = (0usize, 0.0f64);
-        let limit = samples.len() - pre.len();
-        for off in 0..limit.min(4000) {
-            let mut acc = Complex64::ZERO;
-            let mut sig_energy = 0.0;
-            for (i, &p) in probe.iter().enumerate() {
-                acc += samples[off + i] * p.conj();
-                sig_energy += samples[off + i].norm_sqr();
-            }
+        let limit = (samples.len() - pre.len()).min(4000);
+        // FFT matched filter + prefix-sum energies (msc_dsp kernels)
+        // instead of the former O(N·L) per-offset loop.
+        let accs = msc_dsp::corr::complex_sliding_corr(samples, probe);
+        let energies = msc_dsp::corr::sliding_energy(samples, probe.len());
+        for (off, (acc, &sig_energy)) in accs.iter().zip(&energies).enumerate().take(limit) {
             let denom = (probe_energy * sig_energy).sqrt();
             if denom > 1e-20 {
                 let score = acc.abs() / denom;

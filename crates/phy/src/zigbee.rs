@@ -227,30 +227,27 @@ impl ZigBeeDemodulator {
         if samples.len() < probe.len() {
             return None;
         }
+        // FFT matched filter + prefix-sum energies (msc_dsp kernels)
+        // instead of the former O(N·L) per-offset loop.
         let probe_energy: f64 = probe.iter().map(|s| s.norm_sqr()).sum();
-        let mut scores = Vec::with_capacity(samples.len() - probe.len() + 1);
+        let accs = msc_dsp::corr::complex_sliding_corr(samples, probe);
+        let energies = msc_dsp::corr::sliding_energy(samples, probe.len());
         let mut max_score = 0.0f64;
-        for off in 0..=samples.len() - probe.len() {
-            let mut acc = Complex64::ZERO;
-            let mut energy = 0.0;
-            for (i, &p) in probe.iter().enumerate() {
-                acc += samples[off + i] * p.conj();
-                energy += samples[off + i].norm_sqr();
-            }
-            let denom = (probe_energy * energy).sqrt();
-            let score = if denom > 1e-20 { acc.abs() / denom } else { 0.0 };
-            max_score = max_score.max(score);
-            scores.push((score, acc.arg()));
-        }
+        let scores: Vec<f64> = accs
+            .iter()
+            .zip(&energies)
+            .map(|(acc, &energy)| {
+                let denom = (probe_energy * energy).sqrt();
+                let score = if denom > 1e-20 { acc.abs() / denom } else { 0.0 };
+                max_score = max_score.max(score);
+                score
+            })
+            .collect();
         if max_score <= 0.6 {
             return None;
         }
-        let (off, &(_, phase)) = scores
-            .iter()
-            .enumerate()
-            .find(|(_, (s, _))| *s >= 0.98 * max_score)
-            .expect("max exists");
-        Some((off, phase))
+        let off = scores.iter().position(|&s| s >= 0.98 * max_score).expect("max exists");
+        Some((off, accs[off].arg()))
     }
 
     /// Channel-phase estimate from correlating the known SHR waveform at

@@ -14,6 +14,11 @@
 //! (`metrics.jsonl`, `metrics.csv`), and each experiment's table as
 //! JSON (`reports/<id>.json`). `--trace` streams structured trace
 //! events to stderr. Neither flag changes the default table output.
+//!
+//! `--threads N` sizes the Monte-Carlo worker pool (default: available
+//! parallelism). Results are bit-identical at any thread count — seeds
+//! derive per packet from `(seed, cell, index)`, never from a shared
+//! stream.
 
 use msc_sim::experiments as exp;
 use msc_sim::report::Report;
@@ -56,7 +61,7 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--metrics-out <dir>]"
+        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--threads N] [--metrics-out <dir>]"
     );
     eprintln!("experiments:");
     for (id, desc, _) in EXPERIMENTS {
@@ -79,6 +84,13 @@ fn main() {
         match a.as_str() {
             "--full" => full = true,
             "--trace" => trace = true,
+            "--threads" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a number\n");
+                    usage();
+                };
+                msc_par::set_threads(v);
+            }
             "--metrics-out" => {
                 let Some(dir) = it.next() else {
                     eprintln!("--metrics-out needs a directory\n");
@@ -104,7 +116,10 @@ fn main() {
     let mut manifest = if metrics_out.is_some() {
         msc_obs::metrics::Registry::global().reset();
         msc_obs::metrics::enable();
-        Some(msc_obs::RunManifest::start(std::path::Path::new("."), n, seed, full))
+        Some(
+            msc_obs::RunManifest::start(std::path::Path::new("."), n, seed, full)
+                .with_threads(msc_par::threads()),
+        )
     } else {
         None
     };

@@ -69,7 +69,6 @@ pub fn abl_bits(n: usize, seed: u64) -> Report {
 /// γ spreading for ZigBee overlay tag data vs uplink SNR.
 pub fn abl_gamma(n: usize, seed: u64) -> Report {
     let n = n.max(8);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "abl-gamma — ZigBee tag BER vs γ spreading (paper §2.4.2: γ≥2; γ=3 → ~0.1% on hardware)",
         &["γ", "SNR 6 dB", "SNR 2 dB", "SNR -2 dB", "tag bits/packet"],
@@ -83,9 +82,9 @@ pub fn abl_gamma(n: usize, seed: u64) -> Report {
         let start = (payload_start_seconds(Protocol::ZigBee) * 8e6).round() as usize;
         let mut cells = Vec::new();
         for snr in [6.0, 2.0, -2.0] {
-            let mut errors = 0usize;
-            let mut bits = 0usize;
-            for _ in 0..n {
+            let cell = msc_par::hash_label(&format!("abl-gamma/{gamma}/{snr}"));
+            let (errors, bits) = msc_par::par_map_indexed(n, |i| {
+                let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
                 let productive: Vec<u8> = (0..n_prod).map(|_| rng.gen_range(0..16)).collect();
                 let tag_bits = random_bits(&mut rng, cap);
                 let carrier = link.make_carrier(&productive);
@@ -93,12 +92,13 @@ pub fn abl_gamma(n: usize, seed: u64) -> Report {
                 let rx = apply_uplink(&mut rng, &modulated, snr, msc_channel::Fading::None);
                 match link.decode(&rx) {
                     Ok(d) => {
-                        errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count()
+                        (tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count(), cap)
                     }
-                    Err(_) => errors += cap,
+                    Err(_) => (cap, cap),
                 }
-                bits += cap;
-            }
+            })
+            .into_iter()
+            .fold((0usize, 0usize), |(e, b), (de, db)| (e + de, b + db));
             cells.push(pct(errors as f64 / bits.max(1) as f64));
         }
         report.row(&[
@@ -179,7 +179,6 @@ pub fn abl_cfo(n: usize, seed: u64) -> Report {
     use crate::pipeline::{apply_uplink_impaired, AnyLink, Impairments};
     use msc_core::overlay::Mode;
     let n = n.max(6);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "abl-cfo — overlay tag BER vs carrier frequency offset (SNR 15 dB, no fading)",
         &["protocol", "0 Hz", "±20 kHz", "±48.8 kHz (20 ppm)"],
@@ -191,9 +190,9 @@ pub fn abl_cfo(n: usize, seed: u64) -> Report {
         for &cfo in &[0.0, 20e3, 48.8e3] {
             // ZigBee's periodicity estimator caps at ±31 kHz — report
             // honestly beyond it.
-            let mut errors = 0usize;
-            let mut bits = 0usize;
-            for k in 0..n {
+            let cell = msc_par::hash_label(&format!("abl-cfo/{}/{cfo}", p.label()));
+            let (errors, bits) = msc_par::par_map_indexed(n, |k| {
+                let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, k as u64));
                 let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
                 let (productive, carrier) = link.make_carrier(&mut rng, 12);
                 let cap = link.tag_capacity(12);
@@ -207,12 +206,13 @@ pub fn abl_cfo(n: usize, seed: u64) -> Report {
                 let rx = apply_uplink_impaired(&mut rng, &modulated, imp);
                 match link.decode(&rx, productive.len()) {
                     Ok(d) => {
-                        errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count()
+                        (tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count(), cap)
                     }
-                    Err(_) => errors += cap,
+                    Err(_) => (cap, cap),
                 }
-                bits += cap;
-            }
+            })
+            .into_iter()
+            .fold((0usize, 0usize), |(e, b), (de, db)| (e + de, b + db));
             cells.push(pct(errors as f64 / bits.max(1) as f64));
         }
         report.row(&[p.label().into(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);

@@ -27,7 +27,6 @@ use rand::{Rng, SeedableRng};
 /// overlay channel starts erring (the range edge of Fig. 13).
 pub fn ext_fec(n: usize, seed: u64) -> Report {
     let n = n.max(10);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "ext-fec — tag-data coding (paper footnote 8): repetition vs K=7 r=1/2 FEC",
         &["SNR dB", "repetition BER", "FEC BER", "info bits/pkt (rep)", "info bits/pkt (FEC)"],
@@ -43,9 +42,9 @@ pub fn ext_fec(n: usize, seed: u64) -> Report {
         let mut bers = [0.0f64; 2];
         for (ci, coding) in [TagCoding::Repetition, TagCoding::Fec].iter().enumerate() {
             let info_bits = coding.info_capacity(raw_cap);
-            let mut errors = 0usize;
-            let mut bits = 0usize;
-            for _ in 0..n {
+            let cell = msc_par::hash_label(&format!("ext-fec/{snr}/{ci}"));
+            let errors: usize = msc_par::par_map_indexed(n, |i| {
+                let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
                 let info = random_bits(&mut rng, info_bits);
                 let coded = coding.encode(&info);
                 let productive = random_bits(&mut rng, n_productive);
@@ -55,13 +54,15 @@ pub fn ext_fec(n: usize, seed: u64) -> Report {
                 match link.decode(&rx, n_productive) {
                     Ok(d) => {
                         let back = coding.decode(&d.tag, info_bits);
-                        errors += info.iter().zip(back.iter()).filter(|(a, b)| a != b).count()
-                            + info.len().saturating_sub(back.len());
+                        info.iter().zip(back.iter()).filter(|(a, b)| a != b).count()
+                            + info.len().saturating_sub(back.len())
                     }
-                    Err(_) => errors += info_bits,
+                    Err(_) => info_bits,
                 }
-                bits += info_bits;
-            }
+            })
+            .into_iter()
+            .sum();
+            let bits = n * info_bits;
             bers[ci] = errors as f64 / bits.max(1) as f64;
         }
         report.row(&[
@@ -80,7 +81,6 @@ pub fn ext_fec(n: usize, seed: u64) -> Report {
 /// the tag still identifies the BLE excitation.
 pub fn ext_filter(n: usize, seed: u64) -> Report {
     let n = n.max(10);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "ext-filter — tag band filter vs time-domain collisions (§4.1.4 future work)",
         &["front end", "BLE identified", "802.11n identified", "other/none"],
@@ -94,10 +94,9 @@ pub fn ext_filter(n: usize, seed: u64) -> Report {
         let bank =
             TemplateBank::build_at_rf_rate(&fe, TemplateConfig::full_rate(), SampleRate::mhz(20.0));
         let matcher = Matcher::new(bank, MatchMode::Quantized);
-        let mut ble = 0usize;
-        let mut wifin = 0usize;
-        let mut other = 0usize;
-        for _ in 0..n {
+        let cell = msc_par::hash_label(&format!("ext-filter/{label}"));
+        let ids = msc_par::par_map_indexed(n, |i| {
+            let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
             let wb = crate::idtraces::random_packet(Protocol::Ble, &mut rng);
             let wn = crate::idtraces::random_packet(Protocol::WifiN, &mut rng);
             // Collide: BLE resampled onto the 20 Msps grid, WiFi burst on
@@ -106,12 +105,11 @@ pub fn ext_filter(n: usize, seed: u64) -> Report {
             let mixed = wb20.mix(&wn.scaled(1.2));
             let incident = rng.gen_range(-8.0..-4.0);
             let acq = fe.acquire(&mut rng, &mixed, incident);
-            match matcher.identify_blind(&acq, 0) {
-                Some(Protocol::Ble) => ble += 1,
-                Some(Protocol::WifiN) => wifin += 1,
-                _ => other += 1,
-            }
-        }
+            matcher.identify_blind(&acq, 0)
+        });
+        let ble = ids.iter().filter(|&&id| id == Some(Protocol::Ble)).count();
+        let wifin = ids.iter().filter(|&&id| id == Some(Protocol::WifiN)).count();
+        let other = n - ble - wifin;
         report.row(&[
             label.into(),
             pct(ble as f64 / n as f64),
@@ -165,7 +163,6 @@ pub fn ext_multitag(n: usize, seed: u64) -> Report {
     use msc_core::tag::payload_start_seconds;
     use msc_rx::WifiBOverlayLink;
     let n = n.max(8);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "ext-multitag — two tags TDM-sharing one 802.11b carrier, one receiver",
         &["SNR dB", "tag A BER", "tag B BER", "productive BER"],
@@ -177,9 +174,9 @@ pub fn ext_multitag(n: usize, seed: u64) -> Report {
     let tag = TagOverlayModulator::new(Protocol::WifiB, params);
 
     for snr in [15.0, 6.0, 0.0] {
-        let mut errs = [0usize; 3];
-        let mut bits = [0usize; 3];
-        for _ in 0..n {
+        let cell = msc_par::hash_label(&format!("ext-multitag/{snr}"));
+        let per_packet = msc_par::par_map_indexed(n, |i| {
+            let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
             let productive = random_bits(&mut rng, n_prod);
             let a_bits = random_bits(&mut rng, half);
             let b_bits = random_bits(&mut rng, half);
@@ -196,23 +193,21 @@ pub fn ext_multitag(n: usize, seed: u64) -> Report {
             let after_b = tag.modulate(&after_a, start, &b_padded);
             let rx = apply_uplink(&mut rng, &after_b, snr, msc_channel::Fading::None);
             match link.decode(&rx) {
-                Ok(d) => {
-                    errs[0] += a_bits.iter().zip(d.tag.iter()).filter(|(x, y)| x != y).count();
-                    errs[1] +=
-                        b_bits.iter().zip(d.tag.iter().skip(half)).filter(|(x, y)| x != y).count();
-                    errs[2] +=
-                        productive.iter().zip(d.productive.iter()).filter(|(x, y)| x != y).count();
-                }
-                Err(_) => {
-                    errs[0] += half;
-                    errs[1] += half;
-                    errs[2] += n_prod;
-                }
+                Ok(d) => [
+                    a_bits.iter().zip(d.tag.iter()).filter(|(x, y)| x != y).count(),
+                    b_bits.iter().zip(d.tag.iter().skip(half)).filter(|(x, y)| x != y).count(),
+                    productive.iter().zip(d.productive.iter()).filter(|(x, y)| x != y).count(),
+                ],
+                Err(_) => [half, half, n_prod],
             }
-            bits[0] += half;
-            bits[1] += half;
-            bits[2] += n_prod;
+        });
+        let mut errs = [0usize; 3];
+        for e in &per_packet {
+            for (t, v) in errs.iter_mut().zip(e) {
+                *t += v;
+            }
         }
+        let bits = [n * half, n * half, n * n_prod];
         report.row(&[
             f1(snr),
             pct(errs[0] as f64 / bits[0] as f64),

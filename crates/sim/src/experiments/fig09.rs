@@ -38,7 +38,9 @@ pub fn run(n: usize, seed: u64) -> Report {
             let clear_snr = 10.0;
             let orig_snr = clear_snr - occ.loss_db();
 
-            for _ in 0..n {
+            let cell = msc_par::hash_label(&format!("fig9/{}/{}", kind.label(), occ.label()));
+            let outcomes = msc_par::par_map_indexed(n, |i| {
+                let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
                 let payload = random_bits(&mut rng, 96);
                 let tag_bits = random_bits(&mut rng, sys.tag_capacity(payload.len()));
                 let excitation = sys.make_excitation(&payload);
@@ -56,12 +58,18 @@ pub fn run(n: usize, seed: u64) -> Report {
                     crate::pipeline::apply_uplink(&mut rng, &backscattered, 25.0, Fading::None);
 
                 match sys.decode_tag(&rx_a, &rx_b) {
-                    Ok(decoded) => {
+                    Ok(decoded) => Ok((tag_bits, decoded)),
+                    Err(_) => Err(tag_bits.len()),
+                }
+            });
+            for o in outcomes {
+                match o {
+                    Ok((tag_bits, decoded)) => {
                         ber.record(&tag_bits, &decoded[..tag_bits.len().min(decoded.len())])
                     }
-                    Err(_) => {
+                    Err(lost_bits) => {
                         orig_lost += 1;
-                        ber.record_lost(tag_bits.len());
+                        ber.record_lost(lost_bits);
                     }
                 }
             }

@@ -3,22 +3,19 @@
 //! locations; delivery statistics come from the IQ pipeline at a
 //! representative mid-range geometry with fading).
 
-use crate::pipeline::{run_packet, AnyLink, Geometry};
+use crate::pipeline::{run_packets, AnyLink, Geometry};
 use crate::report::{f1, Report};
 use crate::throughput::{goodput, ExcitationProfile};
 use msc_core::overlay::{gamma_for, Mode};
 use msc_phy::protocol::Protocol;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Measures delivery fractions for (protocol, mode) over `n` placements.
-fn delivery(rng: &mut StdRng, p: Protocol, mode: Mode, n: usize) -> (f64, f64) {
+fn delivery(seed: u64, p: Protocol, mode: Mode, n: usize, cell: &str) -> (f64, f64) {
     let link = AnyLink::new(p, mode);
     let mut prod_ok = 0.0;
     let mut tag_ok = 0.0;
-    for _ in 0..n {
-        let geo = Geometry::los(6.0); // the paper's spatial-diversity sweep
-        let out = run_packet(rng, &link, &geo, mode, 16);
+    let geo = Geometry::los(6.0); // the paper's spatial-diversity sweep
+    for out in run_packets(&link, &geo, mode, 16, n, seed, cell) {
         if out.decoded {
             prod_ok += 1.0 - out.productive_errors as f64 / out.productive_units.max(1) as f64;
             tag_ok += 1.0 - out.tag_errors as f64 / out.tag_bits.max(1) as f64;
@@ -30,7 +27,6 @@ fn delivery(rng: &mut StdRng, p: Protocol, mode: Mode, n: usize) -> (f64, f64) {
 /// Runs with `n` placements per cell.
 pub fn run(n: usize, seed: u64) -> Report {
     let n = n.max(6);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "fig12 — throughput tradeoffs across overlay modes (kbps)",
         &["protocol", "mode", "κ", "productive", "tag", "aggregate"],
@@ -46,13 +42,14 @@ pub fn run(n: usize, seed: u64) -> Report {
                 Mode::Mode3 { .. } => Mode::Mode1,
                 m => m,
             };
-            let (prod_ok, tag_ok) = delivery(&mut rng, p, meas_mode, n);
-            let g = goodput(&profile, mode, prod_ok, tag_ok);
             let stage = match label {
                 "1" => "mode1",
                 "2" => "mode2",
                 _ => "mode3",
             };
+            let cell = format!("fig12/{}/{stage}", p.label());
+            let (prod_ok, tag_ok) = delivery(seed, p, meas_mode, n, &cell);
+            let g = goodput(&profile, mode, prod_ok, tag_ok);
             msc_obs::metrics::gauge_set("link.productive_bps", p.label(), stage, g.productive_bps);
             msc_obs::metrics::gauge_set("link.tag_bps", p.label(), stage, g.tag_bps);
             msc_obs::metrics::gauge_set("link.aggregate_bps", p.label(), stage, g.aggregate_bps());

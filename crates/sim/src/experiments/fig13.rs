@@ -2,13 +2,11 @@
 //! Paper: maximal ranges 28 m (WiFi b/n), 22 m (ZigBee), 20 m (BLE); low
 //! BERs out to 16 m.
 
-use crate::pipeline::{run_packet, AnyLink, Geometry};
+use crate::pipeline::{run_packets, AnyLink, Geometry};
 use crate::report::{f1, pct, Report};
 use crate::throughput::{goodput, ExcitationProfile};
 use msc_core::overlay::Mode;
 use msc_phy::protocol::Protocol;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The distances swept (meters).
 pub const DISTANCES: [f64; 8] = [2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0];
@@ -16,7 +14,6 @@ pub const DISTANCES: [f64; 8] = [2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0];
 /// Shared engine for Figs. 13 (LoS) and 14 (NLoS).
 pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
     let n = n.max(6);
-    let mut rng = StdRng::seed_from_u64(seed);
     let title = if nlos {
         "fig14 — NLoS backscatter RSSI / tag BER / aggregate throughput vs distance"
     } else {
@@ -37,8 +34,8 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
             let mut tag_err = 0usize;
             let mut tag_bits = 0usize;
             let mut prod_ok_acc = 0.0;
-            for _ in 0..n {
-                let out = run_packet(&mut rng, &link, &geo, Mode::Mode1, 16);
+            let cell = format!("{stage}/{}/{d}", p.label());
+            for out in run_packets(&link, &geo, Mode::Mode1, 16, n, seed, &cell) {
                 if out.decoded {
                     delivered += 1;
                     tag_err += out.tag_errors;

@@ -3,7 +3,7 @@
 //! (802.11b) vs Hitchhike 94 kbps and FreeRider 33 kbps — the
 //! single-receiver design does not care about the original channel.
 
-use crate::pipeline::{apply_uplink, run_packet, AnyLink, Geometry};
+use crate::pipeline::{apply_uplink, run_packets, AnyLink, Geometry};
 use crate::report::{f1, Report};
 use crate::throughput::{goodput, ExcitationProfile};
 use msc_baseline::{BaselineKind, TwoReceiverSystem};
@@ -17,7 +17,6 @@ use rand::SeedableRng;
 /// Runs with `n` packets per system.
 pub fn run(n: usize, seed: u64) -> Report {
     let n = n.max(8);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "fig15 — tag-data throughput with a drywall occluding the original channel (kbps)",
         &["system", "carrier", "tag kbps"],
@@ -28,9 +27,9 @@ pub fn run(n: usize, seed: u64) -> Report {
     // at a 6 m geometry.
     for p in [Protocol::Ble, Protocol::WifiB] {
         let link = AnyLink::new(p, Mode::Mode1);
+        let cell = format!("fig15/{}", p.label());
         let mut ok = 0.0;
-        for _ in 0..n {
-            let out = run_packet(&mut rng, &link, &Geometry::los(6.0), Mode::Mode1, 16);
+        for out in run_packets(&link, &Geometry::los(6.0), Mode::Mode1, 16, n, seed, &cell) {
             if out.decoded {
                 ok += 1.0 - out.tag_errors as f64 / out.tag_bits.max(1) as f64;
             }
@@ -45,8 +44,9 @@ pub fn run(n: usize, seed: u64) -> Report {
     let orig_snr = 2.5 - occ.loss_db(); // paper: even drywall makes reception "highly unstable"
     for kind in [BaselineKind::Hitchhike, BaselineKind::FreeRider] {
         let sys = TwoReceiverSystem::new(kind);
-        let mut good_frac = 0.0;
-        for _ in 0..n {
+        let cell = msc_par::hash_label(&format!("fig15/{}", kind.label()));
+        let good_frac: f64 = msc_par::par_map_indexed(n, |i| {
+            let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
             let payload = random_bits(&mut rng, 96);
             let tag_bits = random_bits(&mut rng, sys.tag_capacity(payload.len()));
             let excitation = sys.make_excitation(&payload);
@@ -71,8 +71,10 @@ pub fn run(n: usize, seed: u64) -> Report {
                     acc += ((frac - 0.5).max(0.0)) * 2.0;
                 }
             }
-            good_frac += acc / draws as f64;
-        }
+            acc / draws as f64
+        })
+        .into_iter()
+        .sum();
         // Baseline tag rate: 1 bit per symbol (HH) or per 3 symbols (FR).
         // Unlike multiscatter's crafted saturated carriers, the baselines
         // ride ordinary 802.11b traffic; Hitchhike's own evaluation tops

@@ -26,7 +26,6 @@ fn survival(rate_i: f64, a_i: f64, w: f64) -> f64 {
 /// Runs the experiment. `n` controls the IQ-level identification sample.
 pub fn run(n: usize, seed: u64) -> Report {
     let n = n.max(6);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut report = Report::new(
         "fig16 — diverse excitations colliding in time and in frequency (kbps)",
         &["scenario", "protocol", "alone", "collided", "survival"],
@@ -92,17 +91,20 @@ pub fn run(n: usize, seed: u64) -> Report {
     let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
     let bank = TemplateBank::build(&fe, TemplateConfig::full_rate());
     let matcher = Matcher::new(bank, MatchMode::Quantized);
-    let mut ids = [0usize; 4];
-    for _ in 0..n {
+    let cell = msc_par::hash_label("fig16/iq-collision");
+    let identified = msc_par::par_map_indexed(n, |i| {
+        let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
         let wn = crate::idtraces::random_packet(Protocol::WifiN, &mut rng);
         let wb = crate::idtraces::random_packet(Protocol::Ble, &mut rng);
         let wb20 = upsample_iq_clean(&wb, wn.rate());
         let mixed = wn.mix(&wb20.scaled(0.8));
         let incident = rng.gen_range(-9.0..-4.0);
         let acq = fe.acquire(&mut rng, &mixed, incident);
-        if let Some(p) = matcher.identify_blind(&acq, 0) {
-            ids[Protocol::ALL.iter().position(|&q| q == p).unwrap()] += 1;
-        }
+        matcher.identify_blind(&acq, 0)
+    });
+    let mut ids = [0usize; 4];
+    for p in identified.into_iter().flatten() {
+        ids[Protocol::ALL.iter().position(|&q| q == p).unwrap()] += 1;
     }
     report.note(format!(
         "IQ-level collision check: {n} simultaneous 11n+BLE packets at the tag identified as [11n, 11b, BLE, ZigBee] = {ids:?} — the denser, stronger 11n wins, matching the paper's observation."

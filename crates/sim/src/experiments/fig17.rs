@@ -18,7 +18,6 @@ use rand::SeedableRng;
 /// Runs with `n` packets per scheme.
 pub fn run(n: usize, seed: u64) -> Report {
     let n = n.max(8);
-    let mut rng = StdRng::seed_from_u64(seed);
     let geo = Geometry::los(8.0);
     let mut report = Report::new(
         "fig17 — tag BER vs reference-symbol modulation scheme",
@@ -32,9 +31,9 @@ pub fn run(n: usize, seed: u64) -> Report {
         let params = params_for(Protocol::WifiN, Mode::Mode1);
         let link = WifiNOverlayLink::new(params).with_mcs(mcs);
         let tag = TagOverlayModulator::new(Protocol::WifiN, params);
-        let mut errors = 0usize;
-        let mut bits = 0usize;
-        for _ in 0..n {
+        let cell = msc_par::hash_label(&format!("fig17/{label}"));
+        let (errors, bits) = msc_par::par_map_indexed(n, |i| {
+            let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
             let productive = random_bits(&mut rng, 12);
             let tag_bits = random_bits(&mut rng, link.tag_capacity(12));
             let carrier = link.make_carrier(&productive);
@@ -43,14 +42,16 @@ pub fn run(n: usize, seed: u64) -> Report {
             let modulated = tag.modulate(&carrier, start, &tag_bits);
             let snr = geo.uplink_snr_db(Protocol::WifiN);
             let rx = apply_uplink(&mut rng, &modulated, snr, geo.fading);
-            if let Ok(d) = link.decode(&rx) {
-                errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count();
-                bits += tag_bits.len();
-            } else {
-                errors += tag_bits.len();
-                bits += tag_bits.len();
+            match link.decode(&rx) {
+                Ok(d) => (
+                    tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count(),
+                    tag_bits.len(),
+                ),
+                Err(_) => (tag_bits.len(), tag_bits.len()),
             }
-        }
+        })
+        .into_iter()
+        .fold((0usize, 0usize), |(e, b), (de, db)| (e + de, b + db));
         report.row(&[
             "802.11n".into(),
             label.into(),
@@ -69,9 +70,9 @@ pub fn run(n: usize, seed: u64) -> Report {
         let params = params_for(Protocol::WifiB, Mode::Mode1);
         let link = msc_rx::WifiBOverlayLink::new(params).with_rate(rate);
         let tag = TagOverlayModulator::new(Protocol::WifiB, params).with_symbol_duration(sym_s);
-        let mut errors = 0usize;
-        let mut bits = 0usize;
-        for _ in 0..n {
+        let cell = msc_par::hash_label(&format!("fig17/{label}"));
+        let (errors, bits) = msc_par::par_map_indexed(n, |i| {
+            let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
             let b = rate.bits_per_symbol();
             let productive = random_bits(&mut rng, 24 * b);
             let tag_bits = random_bits(&mut rng, link.tag_capacity(productive.len()));
@@ -82,13 +83,15 @@ pub fn run(n: usize, seed: u64) -> Report {
             let snr = geo.uplink_snr_db(Protocol::WifiB);
             let rx = apply_uplink(&mut rng, &modulated, snr, geo.fading);
             match link.decode(&rx) {
-                Ok(d) => {
-                    errors += tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count();
-                }
-                Err(_) => errors += tag_bits.len(),
+                Ok(d) => (
+                    tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| a != b).count(),
+                    tag_bits.len(),
+                ),
+                Err(_) => (tag_bits.len(), tag_bits.len()),
             }
-            bits += tag_bits.len();
-        }
+        })
+        .into_iter()
+        .fold((0usize, 0usize), |(e, b), (de, db)| (e + de, b + db));
         report.row(&[
             "802.11b".into(),
             label.into(),

@@ -54,6 +54,10 @@ pub fn generate_traces_hard(front_end: &FrontEnd, n_per_protocol: usize, seed: u
 }
 
 /// Trace generation with explicit incident-power range and jitter bound.
+///
+/// Traces are generated on the `msc-par` pool; each trace's RNG seed
+/// derives from `(seed, trace index)`, so the set is bit-identical at
+/// any thread count.
 pub fn generate_traces_at(
     front_end: &FrontEnd,
     n_per_protocol: usize,
@@ -61,18 +65,16 @@ pub fn generate_traces_at(
     incident_dbm: std::ops::Range<f64>,
     max_jitter: isize,
 ) -> Vec<Trace> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(n_per_protocol * 4);
-    for p in Protocol::ALL {
-        for _ in 0..n_per_protocol {
-            let wave = random_packet(p, &mut rng);
-            let incident = rng.gen_range(incident_dbm.clone());
-            let acquired = front_end.acquire(&mut rng, &wave, incident);
-            let jitter = rng.gen_range(-max_jitter..=max_jitter);
-            out.push(Trace { truth: p, acquired, jitter });
-        }
-    }
-    out
+    let cell = msc_par::hash_label("idtraces");
+    msc_par::par_map_indexed(n_per_protocol * 4, |i| {
+        let p = Protocol::ALL[i / n_per_protocol.max(1)];
+        let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
+        let wave = random_packet(p, &mut rng);
+        let incident = rng.gen_range(incident_dbm.clone());
+        let acquired = front_end.acquire(&mut rng, &wave, incident);
+        let jitter = rng.gen_range(-max_jitter..=max_jitter);
+        Trace { truth: p, acquired, jitter }
+    })
 }
 
 /// Convenience: a prototype front end at `rate`.

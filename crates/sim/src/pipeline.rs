@@ -14,7 +14,8 @@ use msc_phy::protocol::Protocol;
 use msc_rx::{
     BleOverlayLink, OverlayDecoded, WifiBOverlayLink, WifiNOverlayLink, ZigBeeOverlayLink,
 };
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Excitation transmit power, dBm. All excitations run at 30 dBm EIRP:
 /// the paper amplifies its carriers (§2.2.1 states 30 dBm explicitly for
@@ -338,11 +339,33 @@ pub fn run_packet<R: Rng>(
     outcome
 }
 
+/// Runs `n` independent Monte-Carlo packets of one experiment cell on
+/// the `msc-par` pool.
+///
+/// Each packet draws from its own RNG seeded by `(seed, cell, index)`,
+/// so the outcomes — and therefore every downstream table — are
+/// bit-identical at any thread count, including 1. `cell` names the
+/// experiment cell (e.g. `"fig13/zigbee/8m"`) and keeps seeds disjoint
+/// across cells that share a numeric seed.
+pub fn run_packets(
+    link: &AnyLink,
+    geometry: &Geometry,
+    mode: Mode,
+    n_productive: usize,
+    n: usize,
+    seed: u64,
+    cell: &str,
+) -> Vec<PacketOutcome> {
+    let cell = msc_par::hash_label(cell);
+    msc_par::par_map_indexed(n, |i| {
+        let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
+        run_packet(&mut rng, link, geometry, mode, n_productive)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn all_excitations_amplified_to_30dbm() {

@@ -1,0 +1,50 @@
+//! The parallel engine's contract: the report a run produces is
+//! byte-identical at any thread count, because every Monte-Carlo packet
+//! seeds its own RNG from `(seed, cell, index)` rather than drawing from
+//! a shared stream.
+
+use std::process::Command;
+
+fn paper_stdout(args: &[&str]) -> String {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_paper")).args(args).output().expect("run paper binary");
+    assert!(
+        out.status.success(),
+        "paper {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn fig7_report_identical_at_1_and_8_threads() {
+    let one = paper_stdout(&["fig7", "4", "42", "--threads", "1"]);
+    let eight = paper_stdout(&["fig7", "4", "42", "--threads", "8"]);
+    assert!(!one.trim().is_empty(), "fig7 produced no output");
+    assert_eq!(one, eight, "fig7 output must not depend on thread count");
+}
+
+#[test]
+fn fig13_report_identical_at_1_and_3_threads() {
+    // A pipeline-heavy experiment (run_packets batches per cell).
+    let one = paper_stdout(&["fig13", "2", "7", "--threads", "1"]);
+    let three = paper_stdout(&["fig13", "2", "7", "--threads", "3"]);
+    assert_eq!(one, three, "fig13 output must not depend on thread count");
+}
+
+#[test]
+fn in_process_batch_is_thread_count_invariant() {
+    use msc_core::overlay::Mode;
+    use msc_phy::protocol::Protocol;
+    use msc_sim::pipeline::{run_packets, AnyLink, Geometry};
+
+    let link = AnyLink::new(Protocol::WifiB, Mode::Mode1);
+    let geo = Geometry::los(4.0);
+    let fmt = |outs: Vec<msc_sim::pipeline::PacketOutcome>| format!("{outs:?}");
+    msc_par::set_threads(1);
+    let seq = fmt(run_packets(&link, &geo, Mode::Mode1, 8, 6, 42, "det-test"));
+    msc_par::set_threads(3);
+    let par = fmt(run_packets(&link, &geo, Mode::Mode1, 8, 6, 42, "det-test"));
+    msc_par::set_threads(0);
+    assert_eq!(seq, par);
+}
