@@ -1,0 +1,136 @@
+//! Bench regression gate: compares a current `BENCH_*.json` against a
+//! checked-in baseline and fails (exit 1) when any row regresses beyond
+//! a threshold *after* normalizing out the overall machine-speed shift.
+//!
+//! ```text
+//! bench_regress <baseline.json> <current.json> [--threshold 0.25]
+//! ```
+//!
+//! Shared CI runners differ in absolute speed from the machine that
+//! recorded the baseline, so raw medians are not comparable. Instead:
+//! every common row's ratio `current/baseline` is computed, the median
+//! ratio is taken as the machine shift, and a row fails only when its
+//! ratio exceeds `shift * (1 + threshold)` — i.e. it got slower
+//! *relative to the rest of the suite*. Uniform slowdowns (a slower
+//! runner) pass; a single kernel regressing does not.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parses the compat-criterion JSON sink: an array of flat objects with
+/// `"name"` and `"median_ns"` fields, one object per line.
+fn parse_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut rows = BTreeMap::new();
+    for line in body.lines() {
+        let Some(name) = field_str(line, "name") else { continue };
+        let Some(median) = field_num(line, "median_ns") else { continue };
+        rows.insert(name, median);
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no benchmark rows found"));
+    }
+    Ok(rows)
+}
+
+/// Extracts `"key": "value"` from a JSON object line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extracts `"key": 123.4` from a JSON object line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.25f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--threshold needs a number");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            s if s.starts_with("--") => {
+                eprintln!("unknown flag: {s}");
+                return ExitCode::from(2);
+            }
+            s => paths.push(s.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_regress <baseline.json> <current.json> [--threshold 0.25]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, current) = match (parse_medians(baseline_path), parse_medians(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_regress: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (name, base) in &baseline {
+        if let Some(cur) = current.get(name) {
+            if *base > 0.0 {
+                ratios.push((name.clone(), cur / base));
+            }
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!("bench_regress: no common rows between {baseline_path} and {current_path}");
+        return ExitCode::from(2);
+    }
+
+    let mut rs: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    let shift = median(&mut rs);
+    let limit = shift * (1.0 + threshold);
+    println!(
+        "bench_regress: {} common rows, machine shift ×{shift:.2}, fail above ×{limit:.2}",
+        ratios.len()
+    );
+
+    let mut failures = 0u32;
+    for (name, ratio) in &ratios {
+        let rel = ratio / shift;
+        let verdict = if *ratio > limit {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:4} {name}: ×{ratio:.2} raw, ×{rel:.2} vs suite");
+    }
+
+    if failures > 0 {
+        eprintln!("bench_regress: {failures} row(s) regressed beyond {:.0}%", threshold * 100.0);
+        return ExitCode::FAILURE;
+    }
+    println!("bench_regress: no regressions");
+    ExitCode::SUCCESS
+}

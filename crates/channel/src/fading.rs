@@ -44,6 +44,19 @@ impl Fading {
             }
         }
     }
+
+    /// Draws one flat gain and applies it to `samples` in place,
+    /// returning the gain. The in-place analogue of mapping
+    /// `s * h` into a fresh buffer.
+    pub fn apply_flat<R: Rng>(self, rng: &mut R, samples: &mut [Complex64]) -> Complex64 {
+        let h = self.sample(rng);
+        if h != Complex64::ONE {
+            for s in samples.iter_mut() {
+                *s *= h;
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

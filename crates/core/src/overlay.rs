@@ -170,13 +170,36 @@ impl TagOverlayModulator {
     ///
     /// Returns the modulated waveform (same length and rate).
     pub fn modulate(&self, excitation: &IqBuf, payload_start: usize, tag_bits: &[u8]) -> IqBuf {
-        let sps = self.samples_per_symbol(excitation);
-        let n_symbols = excitation.len().saturating_sub(payload_start) / sps;
+        let mut out = excitation.clone();
+        self.apply_in_place(&mut out, payload_start, tag_bits);
+        out
+    }
+
+    /// [`TagOverlayModulator::modulate`] writing into a caller-owned
+    /// buffer: `out` is overwritten with the excitation (reusing its
+    /// allocation) and modulated in place — the Monte-Carlo engine's
+    /// per-trial path with a shared cached excitation.
+    pub fn modulate_into(
+        &self,
+        excitation: &IqBuf,
+        payload_start: usize,
+        tag_bits: &[u8],
+        out: &mut IqBuf,
+    ) {
+        out.copy_from(excitation);
+        self.apply_in_place(out, payload_start, tag_bits);
+    }
+
+    /// The modulation core: mutates `out` (already holding the clean
+    /// excitation) block by block.
+    fn apply_in_place(&self, out: &mut IqBuf, payload_start: usize, tag_bits: &[u8]) {
+        let sps = self.samples_per_symbol(out);
+        let n_symbols = out.len().saturating_sub(payload_start) / sps;
         let n_seq = self.params.sequences_in(n_symbols);
         let per_seq = self.params.tag_bits_per_sequence();
         let gamma = self.params.gamma;
+        let rate_hz = out.rate().as_hz();
 
-        let mut out = excitation.clone();
         let samples = out.samples_mut();
         let mut bit_idx = 0usize;
         let mut flipped_blocks = 0usize;
@@ -212,8 +235,7 @@ impl TagOverlayModulator {
                     }
                     Protocol::Ble => {
                         // −Δf during the block (phase ramp).
-                        let step =
-                            -std::f64::consts::TAU * BLE_TAG_SHIFT_HZ / excitation.rate().as_hz();
+                        let step = -std::f64::consts::TAU * BLE_TAG_SHIFT_HZ / rate_hz;
                         for (k, s) in samples[start.min(end)..end].iter_mut().enumerate() {
                             *s = s.rotate(step * k as f64);
                         }
@@ -239,7 +261,6 @@ impl TagOverlayModulator {
             tag_bits = bit_idx,
             flipped = flipped_blocks
         );
-        out
     }
 }
 

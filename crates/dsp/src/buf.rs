@@ -153,10 +153,25 @@ impl IqBuf {
     /// `exp(j*2*pi*delta*n/fs)`. This is the tag's square-wave frequency
     /// shifting idealized as a complex mixer.
     pub fn freq_shift(&self, delta_hz: f64) -> IqBuf {
+        let mut out = self.clone();
+        out.freq_shift_in_place(delta_hz);
+        out
+    }
+
+    /// In-place variant of [`IqBuf::freq_shift`].
+    pub fn freq_shift_in_place(&mut self, delta_hz: f64) {
         let step = std::f64::consts::TAU * delta_hz / self.rate.as_hz();
-        let samples =
-            self.samples.iter().enumerate().map(|(n, &s)| s.rotate(step * n as f64)).collect();
-        IqBuf::new(samples, self.rate)
+        for (n, s) in self.samples.iter_mut().enumerate() {
+            *s = s.rotate(step * n as f64);
+        }
+    }
+
+    /// Overwrites this buffer with the contents (samples and rate) of
+    /// `other`, reusing this buffer's allocation when it is large enough.
+    pub fn copy_from(&mut self, other: &IqBuf) {
+        self.rate = other.rate;
+        self.samples.clear();
+        self.samples.extend_from_slice(&other.samples);
     }
 
     /// A sub-range copy `[start, start+len)`, clamped to the buffer.

@@ -11,7 +11,11 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// A complex sample `re + j*im` in double precision.
 ///
 /// All baseband signals in this workspace are sequences of `Complex64`.
+/// `repr(C)` guarantees the `(re, im)` memory order that the FFT's
+/// vectorized butterfly kernel relies on when it reinterprets sample
+/// slices as `f64` pairs.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex64 {
     /// In-phase (real) component.
     pub re: f64,

@@ -20,8 +20,14 @@
 //! value 0.0 (no correlation evidence) instead of panicking; the matcher
 //! can reach mismatched windows near buffer ends during its lag search.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+
 use crate::complex::Complex64;
 use crate::fft::Fft;
+use crate::plan;
 
 /// Pearson-style normalized cross-correlation of two equal-length windows.
 ///
@@ -166,18 +172,18 @@ pub fn sliding_corr_fft(signal: &[f64], template: &[f64]) -> Vec<f64> {
     let n = signal.len();
     let prep = sliding_prep(signal, template);
     let m = next_pow2(n + l);
-    let fft = Fft::new(m);
-    let mut sa = vec![Complex64::ZERO; m];
+    let fft = plan::fft_plan(m);
+    let mut sa = plan::cbuf_zeroed(m);
     for (d, &x) in sa.iter_mut().zip(signal) {
         *d = Complex64::new(x, 0.0);
     }
-    let mut tb = vec![Complex64::ZERO; m];
+    let mut tb = plan::cbuf_zeroed(m);
     for (d, &x) in tb.iter_mut().zip(&prep.tc) {
         *d = Complex64::new(x, 0.0);
     }
     fft.forward(&mut sa);
     fft.forward(&mut tb);
-    for (a, b) in sa.iter_mut().zip(&tb) {
+    for (a, b) in sa.iter_mut().zip(tb.iter()) {
         *a *= b.conj();
     }
     fft.inverse(&mut sa);
@@ -185,10 +191,66 @@ pub fn sliding_corr_fft(signal: &[f64], template: &[f64]) -> Vec<f64> {
     normalize_sliding(&prep, l, nums)
 }
 
+/// Per-thread cap on memoized probe spectra; exceeding it clears the
+/// map (receivers use a handful of fixed sync probes, so eviction is
+/// effectively never hit in practice).
+const PROBE_CACHE_CAP: usize = 8;
+
+/// Memoized probe spectra, keyed by (fft size, probe fingerprint).
+type ProbeSpectra = HashMap<(usize, u64), Rc<Vec<Complex64>>>;
+
+thread_local! {
+    /// Memoized zero-padded probe spectra. Sync correlators slide the
+    /// *same* preamble probe over every packet, so its forward
+    /// transform — one of the three FFTs in [`complex_sliding_corr`] —
+    /// is loop-invariant across a run and worth caching.
+    static PROBE_SPECTRA: RefCell<ProbeSpectra> = RefCell::new(HashMap::new());
+}
+
+/// FNV-1a over the probe's raw sample bits and length. A 64-bit
+/// fingerprint over a handful of distinct probes per process makes an
+/// accidental collision astronomically unlikely.
+fn probe_fingerprint(probe: &[Complex64]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ probe.len() as u64;
+    for s in probe {
+        h = (h ^ s.re.to_bits()).wrapping_mul(PRIME);
+        h = (h ^ s.im.to_bits()).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The forward FFT of `probe` zero-padded to length `m`, served from the
+/// per-thread memo when the same probe was transformed before. A cache
+/// hit returns bit-identical values to a fresh transform (same plan,
+/// same input), so callers cannot observe the memoization numerically.
+fn probe_spectrum(fft: &Fft, m: usize, probe: &[Complex64]) -> Rc<Vec<Complex64>> {
+    let key = (m, probe_fingerprint(probe));
+    PROBE_SPECTRA.with(|cache| {
+        if let Some(spec) = cache.borrow().get(&key) {
+            plan::PROBE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Rc::clone(spec);
+        }
+        plan::PROBE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let mut pb = vec![Complex64::ZERO; m];
+        pb[..probe.len()].copy_from_slice(probe);
+        fft.forward(&mut pb);
+        let spec = Rc::new(pb);
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= PROBE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Rc::clone(&spec));
+        spec
+    })
+}
+
 /// Complex sliding cross-correlation: `out[off] = Σ_i samples[off+i] ·
 /// conj(probe[i])` for every full-overlap offset. This is the inner sum
 /// of a matched filter; callers normalize by energies themselves. Uses
-/// the FFT when the sizes justify it, a direct loop otherwise.
+/// the FFT when the sizes justify it, a direct loop otherwise; the FFT
+/// path memoizes the probe's spectrum per thread (see
+/// [`probe_spectrum`]).
 pub fn complex_sliding_corr(samples: &[Complex64], probe: &[Complex64]) -> Vec<Complex64> {
     if probe.is_empty() || samples.len() < probe.len() {
         return Vec::new();
@@ -206,19 +268,16 @@ pub fn complex_sliding_corr(samples: &[Complex64], probe: &[Complex64]) -> Vec<C
             .collect();
     }
     let m = next_pow2(n + l);
-    let fft = Fft::new(m);
-    let mut sa = vec![Complex64::ZERO; m];
+    let fft = plan::fft_plan(m);
+    let mut sa = plan::cbuf_zeroed(m);
     sa[..n].copy_from_slice(samples);
-    let mut pb = vec![Complex64::ZERO; m];
-    pb[..l].copy_from_slice(probe);
+    let pb = probe_spectrum(&fft, m, probe);
     fft.forward(&mut sa);
-    fft.forward(&mut pb);
-    for (a, b) in sa.iter_mut().zip(&pb) {
+    for (a, b) in sa.iter_mut().zip(pb.iter()) {
         *a *= b.conj();
     }
     fft.inverse(&mut sa);
-    sa.truncate(n - l + 1);
-    sa
+    sa[..=n - l].to_vec()
 }
 
 /// Per-offset signal energies for a sliding window of length `l`:

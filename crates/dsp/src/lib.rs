@@ -15,6 +15,7 @@ pub mod complex;
 pub mod corr;
 pub mod fft;
 pub mod fir;
+pub mod plan;
 pub mod rate;
 pub mod resample;
 pub mod stats;

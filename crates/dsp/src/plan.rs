@@ -1,0 +1,234 @@
+//! Plan & scratch registry: thread-local caches of FFT plans and pooled
+//! scratch buffers so the steady-state hot path neither recomputes
+//! twiddle tables nor allocates intermediate vectors.
+//!
+//! Two facilities:
+//!
+//! * **Plan cache** ([`fft_plan`]) — one [`Fft`] per size per thread,
+//!   shared via `Rc`. A 16384-point plan costs ~8k `cis` evaluations to
+//!   build; the sync correlators ask for the same handful of sizes on
+//!   every packet, so the cache turns twiddle synthesis into a hash
+//!   lookup.
+//! * **Scratch pools** ([`cbuf`], [`rbuf`]) — checkout/return pools of
+//!   `Vec<Complex64>` / `Vec<f64>`. A guard hands out a cleared vector
+//!   (its *capacity* persists across checkouts) and returns it to the
+//!   pool on drop, so inner-loop temporaries stop hitting the allocator
+//!   once the high-water capacity is reached.
+//!
+//! Both are thread-local: no locks on the hot path, and the Monte-Carlo
+//! pool's worker threads each warm their own caches. Global atomic
+//! counters ([`stats`]) expose hit/miss behaviour so the simulation
+//! layer can export it through the observability registry.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::complex::Complex64;
+use crate::fft::Fft;
+
+/// Pool size cap per thread: returning a buffer to a full pool frees it
+/// instead, bounding per-thread memory at a few deep call chains' worth.
+const POOL_CAP: usize = 32;
+
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+static SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+static SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static PROBE_HITS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static PROBE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static PLANS: RefCell<HashMap<usize, Rc<Fft>>> = RefCell::new(HashMap::new());
+    static C_POOL: RefCell<Vec<Vec<Complex64>>> = const { RefCell::new(Vec::new()) };
+    static R_POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Cumulative plan-cache and scratch-pool statistics, summed across all
+/// threads since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plan-cache lookups served from the cache.
+    pub plan_hits: u64,
+    /// Plan-cache lookups that had to build a new plan.
+    pub plan_misses: u64,
+    /// Scratch checkouts served by a pooled buffer.
+    pub scratch_reuses: u64,
+    /// Scratch checkouts that allocated a fresh buffer.
+    pub scratch_allocs: u64,
+    /// Sliding-correlation probe spectra served from the cache.
+    pub probe_hits: u64,
+    /// Sliding-correlation probe spectra that had to run a forward FFT.
+    pub probe_misses: u64,
+}
+
+/// Reads the cumulative cache statistics.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        plan_hits: PLAN_HITS.load(Ordering::Relaxed),
+        plan_misses: PLAN_MISSES.load(Ordering::Relaxed),
+        scratch_reuses: SCRATCH_REUSES.load(Ordering::Relaxed),
+        scratch_allocs: SCRATCH_ALLOCS.load(Ordering::Relaxed),
+        probe_hits: PROBE_HITS.load(Ordering::Relaxed),
+        probe_misses: PROBE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Returns the cached FFT plan of size `n` for this thread, building and
+/// caching it on first use. Panics (like [`Fft::new`]) unless `n` is a
+/// power of two ≥ 2.
+pub fn fft_plan(n: usize) -> Rc<Fft> {
+    PLANS.with(|plans| {
+        let mut plans = plans.borrow_mut();
+        if let Some(p) = plans.get(&n) {
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            return Rc::clone(p);
+        }
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        let p = Rc::new(Fft::new(n));
+        plans.insert(n, Rc::clone(&p));
+        p
+    })
+}
+
+/// A pooled `Vec<Complex64>` scratch buffer.
+///
+/// Deref-able to its inner `Vec`; the vector returns to this thread's
+/// pool when the guard drops. Checked out via [`cbuf`] / [`cbuf_zeroed`].
+#[derive(Debug)]
+pub struct CBuf {
+    buf: Vec<Complex64>,
+}
+
+/// A pooled `Vec<f64>` scratch buffer.
+///
+/// Deref-able to its inner `Vec`; the vector returns to this thread's
+/// pool when the guard drops. Checked out via [`rbuf`] / [`rbuf_zeroed`].
+#[derive(Debug)]
+pub struct RBuf {
+    buf: Vec<f64>,
+}
+
+fn checkout<T>(pool: &'static std::thread::LocalKey<RefCell<Vec<Vec<T>>>>) -> Vec<T> {
+    pool.with(|p| p.borrow_mut().pop()).map_or_else(
+        || {
+            SCRATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        },
+        |mut v| {
+            SCRATCH_REUSES.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v
+        },
+    )
+}
+
+macro_rules! guard_impls {
+    ($guard:ident, $elem:ty, $pool:ident) => {
+        impl std::ops::Deref for $guard {
+            type Target = Vec<$elem>;
+            fn deref(&self) -> &Vec<$elem> {
+                &self.buf
+            }
+        }
+
+        impl std::ops::DerefMut for $guard {
+            fn deref_mut(&mut self) -> &mut Vec<$elem> {
+                &mut self.buf
+            }
+        }
+
+        impl Drop for $guard {
+            fn drop(&mut self) {
+                let buf = std::mem::take(&mut self.buf);
+                // `try_with`: during thread teardown the pool may already
+                // be gone; just let the buffer free normally then.
+                let _ = $pool.try_with(|p| {
+                    let mut p = p.borrow_mut();
+                    if p.len() < POOL_CAP {
+                        p.push(buf);
+                    }
+                });
+            }
+        }
+    };
+}
+
+guard_impls!(CBuf, Complex64, C_POOL);
+guard_impls!(RBuf, f64, R_POOL);
+
+/// Checks out an empty complex scratch vector (cleared; capacity
+/// persists across checkouts on this thread).
+pub fn cbuf() -> CBuf {
+    CBuf { buf: checkout(&C_POOL) }
+}
+
+/// Checks out a complex scratch vector of `n` zero elements.
+pub fn cbuf_zeroed(n: usize) -> CBuf {
+    let mut g = cbuf();
+    g.buf.resize(n, Complex64::ZERO);
+    g
+}
+
+/// Checks out an empty real scratch vector (cleared; capacity persists
+/// across checkouts on this thread).
+pub fn rbuf() -> RBuf {
+    RBuf { buf: checkout(&R_POOL) }
+}
+
+/// Checks out a real scratch vector of `n` zero elements.
+pub fn rbuf_zeroed(n: usize) -> RBuf {
+    let mut g = rbuf();
+    g.buf.resize(n, 0.0);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_cache_reuses_same_plan() {
+        let a = fft_plan(256);
+        let b = fft_plan(256);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 256);
+    }
+
+    #[test]
+    fn scratch_capacity_survives_checkout_cycle() {
+        {
+            let mut b = cbuf();
+            b.reserve(4096);
+            b.push(Complex64::new(1.0, 2.0));
+        }
+        let b = cbuf();
+        assert!(b.capacity() >= 4096, "capacity should persist in pool");
+        assert!(b.is_empty(), "returned buffer must come back cleared");
+    }
+
+    #[test]
+    fn zeroed_checkout_is_zeroed() {
+        {
+            let mut b = rbuf();
+            b.extend_from_slice(&[3.0; 100]);
+        }
+        let b = rbuf_zeroed(50);
+        assert_eq!(b.len(), 50);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn stats_move_forward() {
+        let before = stats();
+        let _ = fft_plan(64);
+        let _ = cbuf();
+        let after = stats();
+        assert!(after.plan_hits + after.plan_misses > before.plan_hits + before.plan_misses);
+        assert!(
+            after.scratch_reuses + after.scratch_allocs
+                > before.scratch_reuses + before.scratch_allocs
+        );
+    }
+}

@@ -67,6 +67,24 @@ proptest! {
     }
 
     #[test]
+    fn overlap_save_convolution_matches_direct(
+        re in prop::collection::vec(-1.0f64..1.0, 64..1200),
+        im in prop::collection::vec(-1.0f64..1.0, 64..1200),
+        taps in prop::collection::vec(-1.0f64..1.0, 2..160),
+    ) {
+        let n = re.len().min(im.len());
+        let signal: Vec<msc_dsp::Complex64> =
+            re[..n].iter().zip(&im[..n]).map(|(&r, &i)| msc_dsp::Complex64::new(r, i)).collect();
+        let fir = msc_dsp::Fir::new(taps);
+        let direct = fir.convolve_direct(&signal);
+        let fast = fir.convolve_overlap_save(&signal);
+        prop_assert_eq!(fast.len(), direct.len());
+        for (k, (f, d)) in fast.iter().zip(&direct).enumerate() {
+            prop_assert!((*f - *d).abs() <= 1e-9, "sample {}: {:?} vs {:?}", k, f, d);
+        }
+    }
+
+    #[test]
     fn dispatching_sliding_corr_agrees_with_naive(
         signal in prop::collection::vec(-1.0f64..1.0, 64..600),
         template in prop::collection::vec(-1.0f64..1.0, 2..96),

@@ -6,7 +6,7 @@
 //! (`arg(x[n] · conj(x[n-1]))`) followed by per-bit integration — the
 //! structure of the CC2540/CC2650 radios the paper uses.
 
-use msc_dsp::{Complex64, Fir, IqBuf, SampleRate};
+use msc_dsp::{plan, Complex64, Fir, IqBuf, SampleRate};
 
 /// GFSK engine configuration.
 #[derive(Clone, Debug)]
@@ -73,8 +73,8 @@ impl Gfsk {
     /// phase-integrated.
     pub fn modulate(&self, bits: &[u8]) -> IqBuf {
         let sps = self.config.sps;
-        // NRZ frequency samples.
-        let mut freq = Vec::with_capacity(bits.len() * sps);
+        // NRZ frequency samples (pooled scratch — per-packet temporary).
+        let mut freq = plan::rbuf();
         for &b in bits {
             let v = if b & 1 == 1 { 1.0 } else { -1.0 };
             freq.extend(std::iter::repeat_n(v, sps));
@@ -99,11 +99,17 @@ impl Gfsk {
     /// quadrature discriminator. First sample is 0.
     pub fn discriminate(&self, samples: &[Complex64]) -> Vec<f64> {
         let mut out = Vec::with_capacity(samples.len());
+        self.discriminate_into(samples, &mut out);
+        out
+    }
+
+    /// [`Gfsk::discriminate`] appending onto `out` — lets callers keep
+    /// the (packet-length) discriminator output in reused scratch.
+    pub fn discriminate_into(&self, samples: &[Complex64], out: &mut Vec<f64>) {
         out.push(0.0);
         for w in samples.windows(2) {
             out.push((w[1] * w[0].conj()).arg());
         }
-        out
     }
 
     /// Demodulates bits from a waveform given the bit-aligned start
@@ -116,7 +122,8 @@ impl Gfsk {
         n_bits: usize,
     ) -> (Vec<u8>, Vec<f64>) {
         let sps = self.config.sps;
-        let disc = self.discriminate(samples);
+        let mut disc = plan::rbuf();
+        self.discriminate_into(samples, &mut disc);
         let mut bits = Vec::with_capacity(n_bits);
         let mut freqs = Vec::with_capacity(n_bits);
         for k in 0..n_bits {
@@ -141,14 +148,13 @@ impl Gfsk {
     /// the best offset and its normalized score.
     pub fn find_pattern(&self, samples: &[Complex64], pattern: &[u8]) -> Option<(usize, f64)> {
         let sps = self.config.sps;
-        let disc = self.discriminate(samples);
-        let template: Vec<f64> = pattern
-            .iter()
-            .flat_map(|&b| {
-                let v = if b & 1 == 1 { 1.0 } else { -1.0 };
-                std::iter::repeat_n(v, sps)
-            })
-            .collect();
+        let mut disc = plan::rbuf();
+        self.discriminate_into(samples, &mut disc);
+        let mut template = plan::rbuf();
+        template.extend(pattern.iter().flat_map(|&b| {
+            let v = if b & 1 == 1 { 1.0 } else { -1.0 };
+            std::iter::repeat_n(v, sps)
+        }));
         if disc.len() < template.len() {
             return None;
         }

@@ -145,6 +145,7 @@ fn preamble_samples(eng: &OfdmEngine) -> Vec<Complex64> {
 const LEGACY_TRAIN_LEN: usize = 160 + 160;
 
 /// The 802.11n modulator.
+#[derive(Clone, Debug)]
 pub struct WifiNModulator {
     config: WifiNConfig,
     eng: OfdmEngine,
@@ -243,7 +244,7 @@ impl WifiNModulator {
         let c = self.config.mcs.constellation();
         for (s, chunk) in inter.chunks(n_cbps).enumerate() {
             let points = c.map_stream(chunk);
-            samples.extend(self.eng.assemble_data_symbol(&points, 3 + s));
+            self.eng.assemble_data_symbol_into(&points, 3 + s, &mut samples);
         }
 
         IqBuf::new(samples, self.config.sample_rate())
@@ -293,7 +294,7 @@ impl WifiNModulator {
         for block in reference_bits.chunks(n_cbps) {
             let points = c.map_stream(block);
             for _ in 0..kappa {
-                samples.extend(self.eng.assemble_data_symbol(&points, pidx));
+                self.eng.assemble_data_symbol_into(&points, pidx, &mut samples);
                 pidx += 1;
             }
         }
@@ -302,6 +303,7 @@ impl WifiNModulator {
 }
 
 /// The 802.11n receiver.
+#[derive(Clone, Debug)]
 pub struct WifiNDemodulator {
     eng: OfdmEngine,
 }
@@ -498,12 +500,14 @@ impl WifiNDemodulator {
             }
             r
         };
+        let mut freq = Vec::with_capacity(53);
         for s in 0..n_syms {
             let at = data_start + s * SYM_LEN;
             if at + SYM_LEN > samples.len() {
                 return Err(DecodeError::Truncated);
             }
-            let freq = self.eng.disassemble(&samples[at..at + SYM_LEN]);
+            freq.clear();
+            self.eng.disassemble_into(&samples[at..at + SYM_LEN], &mut freq);
             let (data, pilots) = self.eng.equalize(&freq, &chan);
             let folded = self.eng.pilot_cpe(&pilots, 3 + s);
             cpe_track += fold_pi(folded - cpe_track);

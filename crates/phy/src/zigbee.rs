@@ -95,13 +95,20 @@ pub struct ZigBeeDecoded {
 pub struct ZigBeeModulator {
     config: ZigBeeConfig,
     pn: [[i8; 32]; 16],
+    /// Half-sine pulse shape over two chip periods, precomputed so
+    /// [`ZigBeeModulator::chips_to_iq`] never calls `sin` per sample.
+    pulse: Vec<f64>,
 }
 
 impl ZigBeeModulator {
     /// Creates a modulator.
     pub fn new(config: ZigBeeConfig) -> Self {
         assert!(config.samples_per_chip >= 2 && config.samples_per_chip.is_multiple_of(2));
-        ZigBeeModulator { config, pn: pn_table() }
+        let pulse_len = 2 * config.samples_per_chip;
+        let pulse = (0..pulse_len)
+            .map(|t| (std::f64::consts::PI * (t as f64 + 0.5) / pulse_len as f64).sin())
+            .collect();
+        ZigBeeModulator { config, pn: pn_table(), pulse }
     }
 
     /// The configuration in use.
@@ -148,8 +155,7 @@ impl ZigBeeModulator {
             let target = if k % 2 == 0 { &mut i_acc } else { &mut q_acc };
             for t in 0..pulse_len {
                 if start + t < n {
-                    let shape = (std::f64::consts::PI * (t as f64 + 0.5) / pulse_len as f64).sin();
-                    target[start + t] += chip as f64 * shape;
+                    target[start + t] += chip as f64 * self.pulse[t];
                 }
             }
         }
@@ -196,21 +202,55 @@ impl ZigBeeModulator {
 #[derive(Clone)]
 pub struct ZigBeeDemodulator {
     config: ZigBeeConfig,
-    pn: [[i8; 32]; 16],
+    /// [`pn_table`] widened to f64 once so
+    /// [`ZigBeeDemodulator::despread`]'s 512-multiply inner loop runs
+    /// without per-element casts.
+    pn_f: [[f64; 32]; 16],
+    /// Reference SHR waveform, synthesized once: `find_sync` and the fine-
+    /// timing loop's `phase_at` probes both read it on every packet.
+    shr: IqBuf,
+    /// Matched-filter weights for [`ZigBeeDemodulator::extract_chips`]:
+    /// the half-sine values at the window offsets, identical for every
+    /// chip index.
+    chip_weights: Vec<f64>,
+    /// `sqrt(Σ w²)` for the weight window above (the per-chip divisor —
+    /// kept as a divisor, not a reciprocal, so the soft chips stay
+    /// bit-identical to the previous per-call computation).
+    chip_wsum_sqrt: f64,
 }
 
 impl ZigBeeDemodulator {
     /// Creates a demodulator.
     pub fn new(config: ZigBeeConfig) -> Self {
-        ZigBeeDemodulator { config, pn: pn_table() }
+        let pn = pn_table();
+        let mut pn_f = [[0.0f64; 32]; 16];
+        for (dst, src) in pn_f.iter_mut().zip(&pn) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s as f64;
+            }
+        }
+        let modulator = ZigBeeModulator::new(config);
+        let mut symbols = vec![0u8; PREAMBLE_SYMBOLS];
+        symbols.extend(ZigBeeModulator::bytes_to_symbols(&[SFD]));
+        let shr = modulator.chips_to_iq(&modulator.symbols_to_chips(&symbols));
+        let spc = config.samples_per_chip;
+        let half = (spc / 2).max(1);
+        // Offset o in the extraction window sits at `spc + o − half` pulse
+        // samples into the chip's half-sine, independent of the chip index.
+        let chip_weights: Vec<f64> = (0..=2 * half)
+            .map(|o| {
+                let t_in_pulse = (spc + o - half) as f64 + 0.5;
+                (std::f64::consts::PI * t_in_pulse / (2 * spc) as f64).sin()
+            })
+            .collect();
+        let wsum: f64 = chip_weights.iter().map(|w| w * w).sum();
+        let chip_wsum_sqrt = wsum.sqrt().max(1e-12);
+        ZigBeeDemodulator { config, pn_f, shr, chip_weights, chip_wsum_sqrt }
     }
 
     /// Reference SHR waveform for matched-filter sync.
-    fn shr_waveform(&self) -> IqBuf {
-        let modulator = ZigBeeModulator::new(self.config);
-        let mut symbols = vec![0u8; PREAMBLE_SYMBOLS];
-        symbols.extend(ZigBeeModulator::bytes_to_symbols(&[SFD]));
-        modulator.chips_to_iq(&modulator.symbols_to_chips(&symbols))
+    fn shr_waveform(&self) -> &IqBuf {
+        &self.shr
     }
 
     /// Finds the SHR by complex matched filter; returns (offset of frame
@@ -282,23 +322,18 @@ impl ZigBeeDemodulator {
         let rot = Complex64::cis(-phase);
         let mut chips = Vec::with_capacity(CHIPS_PER_SYMBOL);
         // Matched-filter against the half-sine: integrate the middle of
-        // the pulse (weighting by the pulse shape), which buys several dB
-        // over a single center sample.
+        // the pulse (weighting by the precomputed pulse-shape window),
+        // which buys several dB over a single center sample.
         let half = (spc / 2).max(1);
         for k in 0..CHIPS_PER_SYMBOL {
             // Pulse for chip k spans [k·spc, k·spc + 2·spc); center ±half.
             let center = start + k * spc + spc;
             let mut acc = 0.0;
-            let mut wsum = 0.0;
-            for o in 0..=2 * half {
-                let idx = center + o - half;
-                let t_in_pulse = (idx - (start + k * spc)) as f64 + 0.5;
-                let w = (std::f64::consts::PI * t_in_pulse / (2 * spc) as f64).sin();
-                let v = get(idx) * rot;
+            for (o, &w) in self.chip_weights.iter().enumerate() {
+                let v = get(center + o - half) * rot;
                 acc += w * if k % 2 == 0 { v.re } else { v.im };
-                wsum += w * w;
             }
-            chips.push(acc / wsum.sqrt().max(1e-12));
+            chips.push(acc / self.chip_wsum_sqrt);
         }
         Some(chips)
     }
@@ -306,8 +341,8 @@ impl ZigBeeDemodulator {
     /// Best-of-16 PN correlation; returns (symbol, signed corr of best).
     pub fn despread(&self, chips: &[f64]) -> (u8, f64) {
         let mut best = (0u8, f64::NEG_INFINITY);
-        for (s, pn) in self.pn.iter().enumerate() {
-            let c: f64 = chips.iter().zip(pn.iter()).map(|(&x, &p)| x * p as f64).sum();
+        for (s, pn) in self.pn_f.iter().enumerate() {
+            let c: f64 = chips.iter().zip(pn.iter()).map(|(&x, &p)| x * p).sum();
             if c > best.1 {
                 best = (s as u8, c);
             }

@@ -15,13 +15,21 @@ use msc_phy::protocol::DecodeError;
 #[derive(Clone, Debug)]
 pub struct BleOverlayLink {
     params: OverlayParams,
-    config: BleConfig,
+    /// Modem instances built once per link: the GFSK engine's Gaussian
+    /// pulse FIR is reused across packets.
+    modulator: BleModulator,
+    demodulator: BleDemodulator,
 }
 
 impl BleOverlayLink {
     /// Creates a link on the default advertising channel.
     pub fn new(params: OverlayParams) -> Self {
-        BleOverlayLink { params, config: BleConfig::default() }
+        let config = BleConfig::default();
+        BleOverlayLink {
+            params,
+            modulator: BleModulator::new(config.clone()),
+            demodulator: BleDemodulator::new(config),
+        }
     }
 
     /// The overlay parameters.
@@ -31,8 +39,7 @@ impl BleOverlayLink {
 
     /// Generates the overlay carrier.
     pub fn make_carrier(&self, productive: &[u8]) -> IqBuf {
-        BleModulator::new(self.config.clone())
-            .modulate_overlay_carrier(productive, self.params.kappa)
+        self.modulator.modulate_overlay_carrier(productive, self.params.kappa)
     }
 
     /// Tag bits one carrier of `n_productive` bits can carry.
@@ -51,9 +58,8 @@ impl BleOverlayLink {
     }
 
     fn decode_inner(&self, rx: &IqBuf, n_productive: usize) -> Result<OverlayDecoded, DecodeError> {
-        let demod = BleDemodulator::new(self.config.clone());
         let n_bits = n_productive * self.params.kappa;
-        let (bits, freqs, _) = demod.demodulate_raw(rx, n_bits)?;
+        let (bits, freqs, _) = self.demodulator.demodulate_raw(rx, n_bits)?;
         if bits.len() < n_bits {
             return Err(DecodeError::Truncated);
         }

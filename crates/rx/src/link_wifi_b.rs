@@ -26,12 +26,21 @@ use msc_phy::wifi_b::{WifiBConfig, WifiBDemodulator, WifiBModulator};
 pub struct WifiBOverlayLink {
     params: OverlayParams,
     config: WifiBConfig,
+    /// Modem instances built once per link and reused across packets.
+    modulator: WifiBModulator,
+    demodulator: WifiBDemodulator,
 }
 
 impl WifiBOverlayLink {
     /// Creates a link at 1 Mbps DBPSK with the given overlay parameters.
     pub fn new(params: OverlayParams) -> Self {
-        WifiBOverlayLink { params, config: WifiBConfig::default() }
+        let config = WifiBConfig::default();
+        WifiBOverlayLink {
+            params,
+            modulator: WifiBModulator::new(config.clone()),
+            demodulator: WifiBDemodulator::new(config.clone()),
+            config,
+        }
     }
 
     /// Uses a different DSSS/CCK rate for the reference symbols
@@ -40,6 +49,8 @@ impl WifiBOverlayLink {
     /// pi-flip bit mask.
     pub fn with_rate(mut self, rate: msc_phy::wifi_b::DsssRate) -> Self {
         self.config.rate = rate;
+        self.modulator = WifiBModulator::new(self.config.clone());
+        self.demodulator = WifiBDemodulator::new(self.config.clone());
         self
     }
 
@@ -48,10 +59,14 @@ impl WifiBOverlayLink {
         self.params
     }
 
+    /// The reference-symbol DSSS/CCK rate in use.
+    pub fn rate(&self) -> msc_phy::wifi_b::DsssRate {
+        self.config.rate
+    }
+
     /// Generates the overlay carrier for `productive` bits.
     pub fn make_carrier(&self, productive: &[u8]) -> IqBuf {
-        WifiBModulator::new(self.config.clone())
-            .modulate_overlay_carrier(productive, self.params.kappa)
+        self.modulator.modulate_overlay_carrier(productive, self.params.kappa)
     }
 
     /// Tag bits one carrier of `n_productive_bits` productive bits can
@@ -75,7 +90,7 @@ impl WifiBOverlayLink {
     }
 
     fn decode_inner(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
-        let decoded = WifiBDemodulator::new(self.config.clone()).demodulate(rx)?;
+        let decoded = self.demodulator.demodulate(rx)?;
         let psdu = &decoded.psdu_bits;
         let kappa = self.params.kappa;
         let gamma = self.params.gamma;

@@ -17,24 +17,40 @@ use msc_phy::wifi_n::{Mcs, WifiNConfig, WifiNDemodulator, WifiNModulator};
 pub struct WifiNOverlayLink {
     params: OverlayParams,
     mcs: Mcs,
+    /// Modem instances built once per link: the OFDM engine's FFT plan
+    /// and subcarrier tables are reused across packets.
+    modulator: WifiNModulator,
+    demodulator: WifiNDemodulator,
 }
 
 impl WifiNOverlayLink {
     /// Creates a link (MCS 0 unless overridden via [`Self::with_mcs`]).
     pub fn new(params: OverlayParams) -> Self {
-        WifiNOverlayLink { params, mcs: Mcs::Mcs0 }
+        let mcs = Mcs::Mcs0;
+        WifiNOverlayLink {
+            params,
+            mcs,
+            modulator: WifiNModulator::new(WifiNConfig { mcs }),
+            demodulator: WifiNDemodulator::new(),
+        }
     }
 
     /// Uses a different reference-symbol constellation (Fig. 17b sweeps
     /// OFDM-BPSK/QPSK/16-QAM).
     pub fn with_mcs(mut self, mcs: Mcs) -> Self {
         self.mcs = mcs;
+        self.modulator = WifiNModulator::new(WifiNConfig { mcs });
         self
     }
 
     /// The overlay parameters.
     pub fn params(&self) -> OverlayParams {
         self.params
+    }
+
+    /// The reference-symbol MCS in use.
+    pub fn mcs(&self) -> Mcs {
+        self.mcs
     }
 
     /// The alternating base pattern of one reference symbol.
@@ -50,8 +66,7 @@ impl WifiNOverlayLink {
         for &b in productive {
             ref_bits.extend(base.iter().map(|&x| x ^ (b & 1)));
         }
-        WifiNModulator::new(WifiNConfig { mcs: self.mcs })
-            .modulate_overlay_carrier(&ref_bits, self.params.kappa)
+        self.modulator.modulate_overlay_carrier(&ref_bits, self.params.kappa)
     }
 
     /// Tag bits one carrier of `n_productive` bits can carry.
@@ -85,7 +100,7 @@ impl WifiNOverlayLink {
     }
 
     fn decode_inner(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
-        let decoded = WifiNDemodulator::new().demodulate(rx)?;
+        let decoded = self.demodulator.demodulate(rx)?;
         let syms = &decoded.raw_symbol_bits;
         let kappa = self.params.kappa;
         let gamma = self.params.gamma;

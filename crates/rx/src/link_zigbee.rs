@@ -17,13 +17,22 @@ use msc_phy::zigbee::{ZigBeeConfig, ZigBeeDemodulator, ZigBeeModulator};
 #[derive(Clone)]
 pub struct ZigBeeOverlayLink {
     params: OverlayParams,
-    config: ZigBeeConfig,
+    /// Modem instances built once per link: the demodulator's SHR
+    /// reference waveform and matched-filter tables are expensive to
+    /// rebuild per packet.
+    modulator: ZigBeeModulator,
+    demodulator: ZigBeeDemodulator,
 }
 
 impl ZigBeeOverlayLink {
     /// Creates a link.
     pub fn new(params: OverlayParams) -> Self {
-        ZigBeeOverlayLink { params, config: ZigBeeConfig::default() }
+        let config = ZigBeeConfig::default();
+        ZigBeeOverlayLink {
+            params,
+            modulator: ZigBeeModulator::new(config),
+            demodulator: ZigBeeDemodulator::new(config),
+        }
     }
 
     /// The overlay parameters.
@@ -33,8 +42,7 @@ impl ZigBeeOverlayLink {
 
     /// Generates the overlay carrier from productive 4-bit symbols.
     pub fn make_carrier(&self, productive_symbols: &[u8]) -> IqBuf {
-        ZigBeeModulator::new(self.config)
-            .modulate_overlay_carrier(productive_symbols, self.params.kappa)
+        self.modulator.modulate_overlay_carrier(productive_symbols, self.params.kappa)
     }
 
     /// Tag bits one carrier of `n_productive` symbols can carry.
@@ -51,7 +59,7 @@ impl ZigBeeOverlayLink {
     }
 
     fn decode_inner(&self, rx: &IqBuf) -> Result<OverlayDecoded, DecodeError> {
-        let decoded = ZigBeeDemodulator::new(self.config).demodulate(rx)?;
+        let decoded = self.demodulator.demodulate(rx)?;
         // Payload symbols follow the 2 PHR symbols.
         let chips = &decoded.raw_chips[2.min(decoded.raw_chips.len())..];
         let symbols = &decoded.raw_symbols[2.min(decoded.raw_symbols.len())..];

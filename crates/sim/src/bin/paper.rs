@@ -61,7 +61,7 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--threads N] [--metrics-out <dir>]"
+        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--threads N] [--metrics-out <dir>] [--no-wave-cache]"
     );
     eprintln!("experiments:");
     for (id, desc, _) in EXPERIMENTS {
@@ -84,6 +84,11 @@ fn main() {
         match a.as_str() {
             "--full" => full = true,
             "--trace" => trace = true,
+            // Resynthesize every cell's excitation instead of caching.
+            // Results are byte-identical either way (the cache memoizes
+            // a pure synthesis); this exists to demonstrate exactly that
+            // and to measure the cache's speedup.
+            "--no-wave-cache" => msc_sim::set_waveform_cache(false),
             "--threads" => {
                 let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
                     eprintln!("--threads needs a number\n");
@@ -163,6 +168,18 @@ fn main() {
     }
 
     if let (Some(dir), Some(manifest)) = (&metrics_out, manifest) {
+        // Steady-state cache effectiveness: FFT-plan/scratch registry
+        // counters and the waveform cache's resident size.
+        msc_obs::metrics::set_experiment("run");
+        let ps = msc_dsp::plan::stats();
+        let g = msc_obs::metrics::gauge_set;
+        g("dsp.plan_hits", "dsp", "plan", ps.plan_hits as f64);
+        g("dsp.plan_misses", "dsp", "plan", ps.plan_misses as f64);
+        g("dsp.scratch_reuses", "dsp", "scratch", ps.scratch_reuses as f64);
+        g("dsp.scratch_allocs", "dsp", "scratch", ps.scratch_allocs as f64);
+        g("dsp.probe_hits", "dsp", "probe", ps.probe_hits as f64);
+        g("dsp.probe_misses", "dsp", "probe", ps.probe_misses as f64);
+        g("wavecache.len", "sim", "", msc_sim::wavecache::waveform_cache_len() as f64);
         let snap = msc_obs::metrics::Registry::global().snapshot();
         let write = |name: &str, body: String| {
             let path = dir.join(name);

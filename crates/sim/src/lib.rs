@@ -18,6 +18,8 @@ pub mod pipeline;
 pub mod report;
 pub mod throughput;
 pub mod traffic;
+pub mod wavecache;
 
 pub use pipeline::{AnyLink, Geometry, PacketOutcome};
 pub use report::Report;
+pub use wavecache::{set_waveform_cache, CellExcitation};

@@ -127,22 +127,25 @@ pub fn apply_uplink<R: Rng>(rng: &mut R, wave: &IqBuf, snr_db: f64, fading: Fadi
 
 /// Applies the uplink channel with the full impairment set.
 pub fn apply_uplink_impaired<R: Rng>(rng: &mut R, wave: &IqBuf, imp: Impairments) -> IqBuf {
-    let p = wave.mean_power();
     let mut out = wave.clone();
+    apply_uplink_in_place(rng, &mut out, imp);
+    out
+}
+
+/// [`apply_uplink_impaired`] mutating `wave` directly — the zero-copy
+/// path for trial buffers that are reused packet to packet.
+pub fn apply_uplink_in_place<R: Rng>(rng: &mut R, wave: &mut IqBuf, imp: Impairments) {
+    let p = wave.mean_power();
     if p > 0.0 {
-        out.scale(1.0 / p.sqrt());
+        wave.scale(1.0 / p.sqrt());
     }
     if imp.cfo_hz != 0.0 {
-        out = out.freq_shift(imp.cfo_hz);
+        wave.freq_shift_in_place(imp.cfo_hz);
     }
-    let h = imp.fading.sample(rng);
-    for s in out.samples_mut() {
-        *s *= h;
-    }
+    imp.fading.apply_flat(rng, wave.samples_mut());
     // Signal mean power |h|^2; noise set against the *average* signal
     // power so fading dips genuinely hurt.
-    add_noise(rng, &mut out, 1.0 / db_to_lin(imp.snr_db));
-    out
+    add_noise(rng, wave, 1.0 / db_to_lin(imp.snr_db));
 }
 
 /// One protocol's overlay link endpoints, type-erased for the runner.
@@ -153,8 +156,9 @@ pub enum AnyLink {
     WifiN(WifiNOverlayLink),
     /// BLE link.
     Ble(BleOverlayLink),
-    /// ZigBee link.
-    ZigBee(ZigBeeOverlayLink),
+    /// ZigBee link. Boxed: the prebuilt modem's pulse/chip tables make
+    /// this variant an order of magnitude larger than the others.
+    ZigBee(Box<ZigBeeOverlayLink>),
 }
 
 impl AnyLink {
@@ -165,7 +169,7 @@ impl AnyLink {
             Protocol::WifiB => AnyLink::WifiB(WifiBOverlayLink::new(params)),
             Protocol::WifiN => AnyLink::WifiN(WifiNOverlayLink::new(params)),
             Protocol::Ble => AnyLink::Ble(BleOverlayLink::new(params)),
-            Protocol::ZigBee => AnyLink::ZigBee(ZigBeeOverlayLink::new(params)),
+            Protocol::ZigBee => AnyLink::ZigBee(Box::new(ZigBeeOverlayLink::new(params))),
         }
     }
 
@@ -179,31 +183,44 @@ impl AnyLink {
         }
     }
 
+    /// Draws `n_productive` random productive units (bits; 4-bit
+    /// symbols for ZigBee) from `rng`.
+    pub fn draw_productive<R: Rng>(&self, rng: &mut R, n_productive: usize) -> Vec<u8> {
+        match self {
+            AnyLink::ZigBee(_) => (0..n_productive).map(|_| rng.gen_range(0..16)).collect(),
+            _ => (0..n_productive).map(|_| rng.gen_range(0..=1)).collect(),
+        }
+    }
+
+    /// Synthesizes the clean overlay carrier for a given payload — a
+    /// pure function of `(self, productive)`, which is what makes the
+    /// waveform cache sound.
+    pub fn carrier_for(&self, productive: &[u8]) -> IqBuf {
+        match self {
+            AnyLink::WifiB(l) => l.make_carrier(productive),
+            AnyLink::WifiN(l) => l.make_carrier(productive),
+            AnyLink::Ble(l) => l.make_carrier(productive),
+            AnyLink::ZigBee(l) => l.make_carrier(productive),
+        }
+    }
+
+    /// A salt distinguishing link variants that share a protocol but
+    /// synthesize different carriers (MCS, DSSS/CCK rate) — part of the
+    /// waveform-cache key.
+    pub fn variant_salt(&self) -> u64 {
+        match self {
+            AnyLink::WifiB(l) => 1 + l.rate() as u64,
+            AnyLink::WifiN(l) => 1 + l.mcs() as u64,
+            AnyLink::Ble(_) | AnyLink::ZigBee(_) => 0,
+        }
+    }
+
     /// Generates an overlay carrier for `n_productive` random
     /// productive units (bits; 4-bit symbols for ZigBee).
     pub fn make_carrier<R: Rng>(&self, rng: &mut R, n_productive: usize) -> (Vec<u8>, IqBuf) {
-        match self {
-            AnyLink::WifiB(l) => {
-                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..=1)).collect();
-                let c = l.make_carrier(&p);
-                (p, c)
-            }
-            AnyLink::WifiN(l) => {
-                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..=1)).collect();
-                let c = l.make_carrier(&p);
-                (p, c)
-            }
-            AnyLink::Ble(l) => {
-                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..=1)).collect();
-                let c = l.make_carrier(&p);
-                (p, c)
-            }
-            AnyLink::ZigBee(l) => {
-                let p: Vec<u8> = (0..n_productive).map(|_| rng.gen_range(0..16)).collect();
-                let c = l.make_carrier(&p);
-                (p, c)
-            }
-        }
+        let p = self.draw_productive(rng, n_productive);
+        let c = self.carrier_for(&p);
+        (p, c)
     }
 
     /// Tag capacity for `n_productive` units.
@@ -301,7 +318,28 @@ pub fn run_packet<R: Rng>(
     });
 
     metrics::counter_add("pipe.packets", label, "", 1);
-    let outcome = match metrics::time_stage(label, "decode", || link.decode(&rx, n_productive)) {
+    let result = metrics::time_stage(label, "decode", || link.decode(&rx, n_productive));
+    let outcome = score_decode(label, result, &tag_bits, &productive);
+    metrics::hist_observe("pipe.tag_ber", label, "", outcome.tag_ber(), buckets::BER);
+    msc_obs::event!(
+        "pipe.packet",
+        protocol = label,
+        snr_db = format_args!("{snr:.1}"),
+        decoded = outcome.decoded,
+        tag_ber = format_args!("{:.3}", outcome.tag_ber())
+    );
+    outcome
+}
+
+/// Scores one decode result against the transmitted streams. A failed
+/// decode counts every carried bit/unit as errored.
+fn score_decode(
+    label: &'static str,
+    result: Result<OverlayDecoded, msc_phy::protocol::DecodeError>,
+    tag_bits: &[u8],
+    productive: &[u8],
+) -> PacketOutcome {
+    match result {
         Ok(d) => {
             let tag_errors =
                 tag_bits.iter().zip(d.tag.iter()).filter(|(a, b)| (*a ^ *b) & 1 == 1).count()
@@ -321,13 +359,60 @@ pub fn run_packet<R: Rng>(
             metrics::counter_add("pipe.decode_fail", label, "", 1);
             PacketOutcome {
                 decoded: false,
-                tag_errors: cap,
-                tag_bits: cap,
-                productive_errors: n_productive,
-                productive_units: n_productive,
+                tag_errors: tag_bits.len(),
+                tag_bits: tag_bits.len(),
+                productive_errors: productive.len(),
+                productive_units: productive.len(),
             }
         }
-    };
+    }
+}
+
+thread_local! {
+    /// Per-thread packet buffer for [`run_packet_shared`]: tag overlay,
+    /// channel, and noise are applied into this one allocation, reused
+    /// packet to packet.
+    static PKT_BUF: std::cell::RefCell<IqBuf> =
+        std::cell::RefCell::new(IqBuf::empty(msc_dsp::SampleRate::hz(1.0)));
+}
+
+/// Runs one trial of an experiment cell against the cell's shared
+/// excitation.
+///
+/// The clean carrier is *not* resynthesized: the tag overlay is written
+/// into a thread-local buffer ([`msc_core::TagOverlayModulator::modulate_into`]),
+/// and fading/CFO/noise are applied in place. Per-trial randomness
+/// consumes `rng` in the order: tag bits, fading gain, noise — the
+/// payload is fixed per cell, so outcomes depend only on
+/// `(seed, cell, index)` exactly as [`run_packet`] outcomes do.
+pub fn run_packet_shared<R: Rng>(
+    rng: &mut R,
+    link: &AnyLink,
+    geometry: &Geometry,
+    mode: Mode,
+    exc: &crate::wavecache::CellExcitation,
+) -> PacketOutcome {
+    let p = link.protocol();
+    let label = p.label();
+    let tag_bits: Vec<u8> = (0..exc.tag_capacity).map(|_| rng.gen_range(0..=1)).collect();
+    let modulator = TagOverlayModulator::new(p, params_for(p, mode));
+
+    let snr = geometry.uplink_snr_db(p);
+    metrics::hist_observe("pipe.snr_db", label, "uplink", snr, buckets::SNR_DB);
+
+    let outcome = PKT_BUF.with(|b| {
+        let mut buf = b.borrow_mut();
+        metrics::time_stage(label, "modulate", || {
+            modulator.modulate_into(&exc.carrier, exc.payload_start, &tag_bits, &mut buf)
+        });
+        metrics::time_stage(label, "channel", || {
+            apply_uplink_in_place(rng, &mut buf, Impairments::snr(snr, geometry.fading))
+        });
+        metrics::counter_add("pipe.packets", label, "", 1);
+        let result =
+            metrics::time_stage(label, "decode", || link.decode(&buf, exc.productive.len()));
+        score_decode(label, result, &tag_bits, &exc.productive)
+    });
     metrics::hist_observe("pipe.tag_ber", label, "", outcome.tag_ber(), buckets::BER);
     msc_obs::event!(
         "pipe.packet",
@@ -342,9 +427,14 @@ pub fn run_packet<R: Rng>(
 /// Runs `n` independent Monte-Carlo packets of one experiment cell on
 /// the `msc-par` pool.
 ///
-/// Each packet draws from its own RNG seeded by `(seed, cell, index)`,
-/// so the outcomes — and therefore every downstream table — are
-/// bit-identical at any thread count, including 1. `cell` names the
+/// The cell's clean excitation is prepared exactly once
+/// ([`crate::wavecache::CellExcitation`]): the productive payload comes
+/// from the cell's own RNG stream `(seed, cell, u64::MAX)` and the
+/// carrier is shared read-only across trials and threads. Each packet
+/// then draws its tag bits and channel realization from its own RNG
+/// seeded by `(seed, cell, index)`, so the outcomes — and therefore
+/// every downstream table — are bit-identical at any thread count,
+/// including 1, and with the waveform cache on or off. `cell` names the
 /// experiment cell (e.g. `"fig13/zigbee/8m"`) and keeps seeds disjoint
 /// across cells that share a numeric seed.
 pub fn run_packets(
@@ -356,10 +446,11 @@ pub fn run_packets(
     seed: u64,
     cell: &str,
 ) -> Vec<PacketOutcome> {
+    let exc = crate::wavecache::CellExcitation::prepare(link, mode, n_productive, seed, cell);
     let cell = msc_par::hash_label(cell);
     msc_par::par_map_indexed(n, |i| {
         let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
-        run_packet(&mut rng, link, geometry, mode, n_productive)
+        run_packet_shared(&mut rng, link, geometry, mode, &exc)
     })
 }
 

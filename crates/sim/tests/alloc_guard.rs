@@ -1,0 +1,96 @@
+//! Steady-state allocation guard for the packet hot path.
+//!
+//! With the waveform cache, the FFT-plan/scratch registry, and the
+//! thread-local packet buffer all warm, one end-to-end packet should
+//! allocate only its small, unavoidable outputs (tag bits, decoded
+//! streams, outcome). This test counts allocator calls around one
+//! representative packet — cold versus steady-state — and exports the
+//! steady-state count through `msc-obs` so regressions show up in the
+//! metrics dump, not just here.
+
+use msc_core::overlay::Mode;
+use msc_phy::protocol::Protocol;
+use msc_sim::pipeline::{run_packet, run_packet_shared, AnyLink, Geometry};
+use msc_sim::wavecache::CellExcitation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pass-through allocator that counts alloc/realloc calls.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOC_CALLS.load(Ordering::Relaxed) - before, out)
+}
+
+#[test]
+fn steady_state_packet_allocates_far_less_than_cold() {
+    // Single-threaded so the thread-local pools this thread warms are
+    // the ones the measured packet uses.
+    msc_par::set_threads(1);
+    let link = AnyLink::new(Protocol::Ble, Mode::Mode1);
+    let geo = Geometry::los(4.0);
+    let exc = CellExcitation::prepare(&link, Mode::Mode1, 16, 42, "alloc-guard/cell");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Warm the plan caches, scratch pools, and packet buffer, then
+    // measure one representative steady-state packet.
+    let out = run_packet_shared(&mut rng, &link, &geo, Mode::Mode1, &exc);
+    assert!(out.decoded, "BLE at 4 m must decode");
+    for _ in 0..3 {
+        run_packet_shared(&mut rng, &link, &geo, Mode::Mode1, &exc);
+    }
+    let (warm, _) = count_allocs(|| run_packet_shared(&mut rng, &link, &geo, Mode::Mode1, &exc));
+
+    // A packet that resynthesizes its carrier (the pre-cache hot path)
+    // allocates far more than a shared-excitation packet.
+    let (fresh, _) = count_allocs(|| run_packet(&mut rng, &link, &geo, Mode::Mode1, 16));
+
+    // The scratch pools keep even fresh synthesis cheap, so the ratio
+    // is modest; the absolute bound is the real guard.
+    assert!(
+        warm < fresh,
+        "shared-excitation packet should allocate less than a synthesizing one: \
+         warm {warm} fresh {fresh}"
+    );
+    assert!(warm <= 64, "steady-state packet allocations crept up: {warm}");
+
+    // Export through the metrics registry so BENCH/obs runs can track
+    // the steady-state number alongside the cache counters.
+    let _guard = msc_obs::metrics::tests_serial();
+    msc_obs::metrics::enable();
+    msc_obs::metrics::set_experiment("alloc-guard");
+    msc_obs::metrics::gauge_set("alloc.steady_packet", "BLE", "", warm as f64);
+    msc_obs::metrics::gauge_set("alloc.fresh_packet", "BLE", "", fresh as f64);
+    let snap = msc_obs::metrics::Registry::global().snapshot();
+    msc_obs::metrics::disable();
+    assert!(
+        snap.iter().any(|r| r.key.name == "alloc.steady_packet"),
+        "steady-state allocation gauge must be exported"
+    );
+    msc_par::set_threads(0);
+}

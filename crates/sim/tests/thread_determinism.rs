@@ -33,6 +33,23 @@ fn fig13_report_identical_at_1_and_3_threads() {
 }
 
 #[test]
+fn cached_and_fresh_reports_identical_at_1_4_8_threads() {
+    // The waveform cache memoizes a pure synthesis, so a fixed-seed
+    // report must be byte-identical with the cache on or off, at every
+    // thread count.
+    let mut outputs = Vec::new();
+    for threads in ["1", "4", "8"] {
+        let cached = paper_stdout(&["fig13", "2", "7", "--threads", threads]);
+        let fresh = paper_stdout(&["fig13", "2", "7", "--threads", threads, "--no-wave-cache"]);
+        assert!(!cached.trim().is_empty(), "fig13 produced no output at {threads} threads");
+        assert_eq!(cached, fresh, "cache must not change results at {threads} threads");
+        outputs.push(cached);
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 4 threads");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 threads");
+}
+
+#[test]
 fn in_process_batch_is_thread_count_invariant() {
     use msc_core::overlay::Mode;
     use msc_phy::protocol::Protocol;
