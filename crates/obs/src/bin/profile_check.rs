@@ -1,0 +1,104 @@
+//! CI helper: asserts a `paper --profile` output pair is non-empty and
+//! self-consistent.
+//!
+//! Usage: `profile_check <profile.json> <profile.folded>`
+//!
+//! Checks:
+//! * the folded file has at least one `path value` line, every line is
+//!   well-formed, and the values are non-negative integers;
+//! * the JSON parses, carries the current schema version, and its root
+//!   node's inclusive time is ≥ the sum of its direct children
+//!   (wall-clock above fork points is never over-attributed);
+//! * `attributed_frac` is within `[0, 1]`.
+//!
+//! Exits 0 on success, 1 with a message on any violation.
+
+use msc_obs::export::parse_json;
+use std::process::ExitCode;
+
+fn check(json_path: &str, folded_path: &str) -> Result<(), String> {
+    let folded =
+        std::fs::read_to_string(folded_path).map_err(|e| format!("read {folded_path}: {e}"))?;
+    let mut lines = 0usize;
+    for line in folded.lines() {
+        let (path, value) =
+            line.rsplit_once(' ').ok_or_else(|| format!("malformed folded line: {line:?}"))?;
+        if path.is_empty() || path.split(';').any(str::is_empty) {
+            return Err(format!("empty stack segment in folded line: {line:?}"));
+        }
+        value.parse::<u64>().map_err(|_| format!("non-integer folded value in line: {line:?}"))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("folded output is empty".to_string());
+    }
+
+    let body = std::fs::read_to_string(json_path).map_err(|e| format!("read {json_path}: {e}"))?;
+    let json = parse_json(&body).map_err(|e| format!("parse {json_path}: {e}"))?;
+    let version = json
+        .get("schema_version")
+        .and_then(|v| v.as_f64())
+        .ok_or("profile JSON missing schema_version")? as u32;
+    if version != msc_obs::SCHEMA_VERSION {
+        return Err(format!("schema_version {version} != expected {}", msc_obs::SCHEMA_VERSION));
+    }
+    let frac = json
+        .get("attributed_frac")
+        .and_then(|v| v.as_f64())
+        .ok_or("profile JSON missing attributed_frac")?;
+    if !(0.0..=1.0).contains(&frac) {
+        return Err(format!("attributed_frac {frac} outside [0, 1]"));
+    }
+    let nodes = json.get("nodes").and_then(|v| v.as_arr()).ok_or("profile JSON missing nodes")?;
+    if nodes.is_empty() {
+        return Err("profile JSON has no nodes".to_string());
+    }
+    // Root = largest depth-0 inclusive; its children are the depth-1
+    // nodes that directly follow it (nodes are in depth-first order).
+    let mut root: Option<(usize, f64)> = None;
+    for (i, node) in nodes.iter().enumerate() {
+        let depth = node.get("depth").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        let incl = node.get("incl_us").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if depth == 0.0 && root.map(|(_, r)| incl > r).unwrap_or(true) {
+            root = Some((i, incl));
+        }
+    }
+    let (root_idx, root_incl) = root.ok_or("no depth-0 node in profile")?;
+    let mut child_sum = 0.0;
+    for node in &nodes[root_idx + 1..] {
+        let depth = node.get("depth").and_then(|v| v.as_f64());
+        if depth == Some(1.0) {
+            child_sum += node.get("incl_us").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        } else if depth == Some(0.0) {
+            break;
+        }
+    }
+    // 1% slack covers clock-read jitter between parent and child frames.
+    if root_incl < child_sum * 0.99 {
+        return Err(format!(
+            "root inclusive {root_incl:.1} µs < sum of children {child_sum:.1} µs"
+        ));
+    }
+    println!(
+        "profile_check ok: {lines} folded lines, root {:.1} ms, children {:.1} ms, attributed {:.1}%",
+        root_incl / 1e3,
+        child_sum / 1e3,
+        frac * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [json_path, folded_path] = args.as_slice() else {
+        eprintln!("usage: profile_check <profile.json> <profile.folded>");
+        return ExitCode::from(2);
+    };
+    match check(json_path, folded_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("profile_check FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

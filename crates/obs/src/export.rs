@@ -94,9 +94,16 @@ pub fn record_to_json(rec: &Record) -> String {
     out
 }
 
-/// Serializes a snapshot as JSON-lines (one record per line).
+/// Serializes a snapshot as JSON-lines: one `meta` line carrying the
+/// export schema version and record count, then one line per record.
 pub fn to_jsonl(records: &[Record]) -> String {
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"schema_version\":{},\"records\":{}}}",
+        crate::SCHEMA_VERSION,
+        records.len()
+    );
     for rec in records {
         out.push_str(&record_to_json(rec));
         out.push('\n');
@@ -385,7 +392,15 @@ mod tests {
         let r = sample_registry();
         let snap = r.snapshot();
         let jsonl = to_jsonl(&snap);
-        let lines: Vec<&str> = jsonl.lines().collect();
+        let mut lines = jsonl.lines();
+        let meta = parse_json(lines.next().unwrap()).expect("meta line");
+        assert_eq!(meta.get("type").unwrap().as_str().unwrap(), "meta");
+        assert_eq!(
+            meta.get("schema_version").unwrap().as_f64().unwrap() as u32,
+            crate::SCHEMA_VERSION
+        );
+        assert_eq!(meta.get("records").unwrap().as_f64().unwrap() as usize, snap.len());
+        let lines: Vec<&str> = lines.collect();
         assert_eq!(lines.len(), 3);
         for (line, rec) in lines.iter().zip(&snap) {
             let v = parse_json(line).expect("valid JSON");

@@ -1,0 +1,491 @@
+//! Flight recorder: bounded ring of recent per-trial context with
+//! replayable failure bundles.
+//!
+//! When armed ([`arm`]), the simulation layer feeds the recorder one
+//! [`TrialRecord`] per Monte-Carlo trial — the experiment cell, the
+//! base and derived RNG seeds, per-stage timings, and the matcher /
+//! decode scores that produced the verdict. Records land in a bounded
+//! ring (recent history for postmortems); trials whose verdict is not
+//! `"ok"`, or whose slowest stage exceeds the configured threshold,
+//! are additionally captured as *dumps* — each convertible to a
+//! replayable JSON bundle ([`bundle_to_json`]) that `paper replay`
+//! feeds back through [`parse_bundle`].
+//!
+//! Replay leans entirely on the workspace's seed-derivation contract:
+//! a trial is fully determined by `(experiment, n, seed, cell, index)`
+//! because its RNG is seeded from
+//! `derive_seed(seed, hash_label(cell), index)` and never draws from a
+//! shared stream. The recorder itself only observes — it never touches
+//! RNG state, so arming it cannot change results.
+
+use crate::export::{json_escape, parse_json};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Whether the recorder is armed (the per-trial fast path).
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Recorder knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightConfig {
+    /// Ring capacity: how many recent trials to keep (0 disables the
+    /// ring but keeps failure dumps).
+    pub ring: usize,
+    /// Stage-time threshold in µs: any stage slower than this marks
+    /// the trial as a `slow_stage` dump (`paper --flight-slow-us`).
+    pub slow_stage_us: f64,
+    /// Cap on retained dumps per run; excess failures only bump the
+    /// suppressed counter so pathological cells can't flood the disk.
+    pub max_dumps: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig { ring: 256, slow_stage_us: f64::INFINITY, max_dumps: 32 }
+    }
+}
+
+/// Everything the recorder keeps about one finished trial.
+#[derive(Clone, Debug)]
+pub struct TrialRecord {
+    /// Experiment id (`fig13`) — the replay dispatch key.
+    pub experiment: String,
+    /// Cell label within the experiment (`los/BLE/32`).
+    pub cell: String,
+    /// Trial index within the cell.
+    pub index: u64,
+    /// The run's base seed.
+    pub seed: u64,
+    /// The trial's derived RNG seed (recorded for the bundle; replay
+    /// re-derives it and the two must agree).
+    pub derived_seed: u64,
+    /// Protocol label, `""` when not applicable.
+    pub protocol: &'static str,
+    /// Per-stage wall-clock, µs, in execution order.
+    pub stages: Vec<(&'static str, f64)>,
+    /// Scores that produced the verdict (matcher scores, error
+    /// counts) — the values replay must reproduce exactly.
+    pub scores: Vec<(&'static str, f64)>,
+    /// `"ok"`, `"decode_fail"`, `"id_miss"`, …
+    pub verdict: String,
+}
+
+/// One captured failure: the trigger plus the full trial record.
+#[derive(Clone, Debug)]
+pub struct Dump {
+    /// Why this trial was captured (`decode_fail`, `id_miss`,
+    /// `slow_stage:<name>`).
+    pub reason: String,
+    /// The trial itself.
+    pub record: TrialRecord,
+}
+
+/// Recorder totals for the final metrics export.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlightStats {
+    /// Trials observed since arming.
+    pub trials: u64,
+    /// Dumps currently retained.
+    pub dumps: u64,
+    /// Failures beyond `max_dumps` that were counted but not kept.
+    pub suppressed: u64,
+    /// Records currently in the ring.
+    pub ring_len: u64,
+}
+
+#[derive(Default)]
+struct State {
+    cfg: FlightConfig,
+    ring: VecDeque<TrialRecord>,
+    dumps: Vec<Dump>,
+    suppressed: u64,
+    trials: u64,
+    /// `(cell, index)` a replay run wants captured.
+    target: Option<(String, u64)>,
+    captured: Option<TrialRecord>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State::default()))
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TrialRecord>> = const { RefCell::new(None) };
+}
+
+/// Arms the recorder with `cfg`, discarding any previous state
+/// (including a replay target — set it after arming).
+pub fn arm(cfg: FlightConfig) {
+    let mut s = state().lock().unwrap();
+    *s = State { cfg, ..State::default() };
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms the recorder. Collected dumps stay until [`take_dumps`].
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+}
+
+/// The per-trial fast path: true when armed.
+#[inline(always)]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Opens the current thread's trial record. Pair with [`end_trial`].
+#[allow(clippy::too_many_arguments)]
+pub fn begin_trial(
+    experiment: &str,
+    cell: &str,
+    index: u64,
+    seed: u64,
+    derived_seed: u64,
+    protocol: &'static str,
+) {
+    if !armed() {
+        return;
+    }
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(TrialRecord {
+            experiment: experiment.to_string(),
+            cell: cell.to_string(),
+            index,
+            seed,
+            derived_seed,
+            protocol,
+            stages: Vec::new(),
+            scores: Vec::new(),
+            verdict: String::new(),
+        });
+    });
+}
+
+/// Appends a stage timing to the open trial (no-op outside a trial —
+/// `time_stage` also covers per-cell work like carrier synthesis).
+pub fn note_stage(stage: &'static str, us: f64) {
+    if !armed() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(rec) = c.borrow_mut().as_mut() {
+            rec.stages.push((stage, us));
+        }
+    });
+}
+
+/// Appends a named score to the open trial.
+pub fn note_score(name: &'static str, value: f64) {
+    if !armed() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(rec) = c.borrow_mut().as_mut() {
+            rec.scores.push((name, value));
+        }
+    });
+}
+
+/// Closes the open trial with `verdict`, pushing it through the ring,
+/// the dump trigger, and the replay-capture check.
+pub fn end_trial(verdict: &str) {
+    if !armed() {
+        return;
+    }
+    let Some(mut rec) = CURRENT.with(|c| c.borrow_mut().take()) else {
+        return;
+    };
+    rec.verdict = verdict.to_string();
+
+    let mut s = state().lock().unwrap();
+    s.trials += 1;
+    if let Some((tc, ti)) = &s.target {
+        if *tc == rec.cell && *ti == rec.index {
+            s.captured = Some(rec.clone());
+        }
+    }
+    let reason = if rec.verdict != "ok" {
+        Some(rec.verdict.clone())
+    } else {
+        rec.stages
+            .iter()
+            .find(|&&(_, us)| us > s.cfg.slow_stage_us)
+            .map(|&(stage, _)| format!("slow_stage:{stage}"))
+    };
+    if let Some(reason) = reason {
+        if s.dumps.len() < s.cfg.max_dumps {
+            s.dumps.push(Dump { reason, record: rec.clone() });
+        } else {
+            s.suppressed += 1;
+        }
+    }
+    if s.cfg.ring > 0 {
+        if s.ring.len() == s.cfg.ring {
+            s.ring.pop_front();
+        }
+        s.ring.push_back(rec);
+    }
+}
+
+/// Drains the retained dumps, sorted by `(cell, index)` so the files a
+/// run writes are deterministic regardless of worker interleaving.
+pub fn take_dumps() -> Vec<Dump> {
+    let mut dumps = std::mem::take(&mut state().lock().unwrap().dumps);
+    dumps.sort_by(|a, b| {
+        (a.record.cell.as_str(), a.record.index).cmp(&(b.record.cell.as_str(), b.record.index))
+    });
+    dumps
+}
+
+/// Recorder totals (exported as gauges at the end of a run).
+pub fn stats() -> FlightStats {
+    let s = state().lock().unwrap();
+    FlightStats {
+        trials: s.trials,
+        dumps: s.dumps.len() as u64,
+        suppressed: s.suppressed,
+        ring_len: s.ring.len() as u64,
+    }
+}
+
+/// Marks `(cell, index)` for capture: the matching trial's record is
+/// kept for [`take_captured`] even if its verdict is `"ok"`.
+pub fn set_replay_target(cell: String, index: u64) {
+    let mut s = state().lock().unwrap();
+    s.target = Some((cell, index));
+    s.captured = None;
+}
+
+/// The `(cell, index)` a replay run wants, if any. Cheap when the
+/// recorder is disarmed.
+pub fn replay_target() -> Option<(String, u64)> {
+    if !armed() {
+        return None;
+    }
+    state().lock().unwrap().target.clone()
+}
+
+/// Clears the replay target.
+pub fn clear_replay_target() {
+    state().lock().unwrap().target = None;
+}
+
+/// Takes the record captured for the replay target, if the trial ran.
+pub fn take_captured() -> Option<TrialRecord> {
+    state().lock().unwrap().captured.take()
+}
+
+/// A parsed replay bundle: everything needed to re-run one trial.
+#[derive(Clone, Debug)]
+pub struct Bundle {
+    /// Experiment id to dispatch.
+    pub experiment: String,
+    /// Cell label of the target trial.
+    pub cell: String,
+    /// Trial index within the cell.
+    pub index: u64,
+    /// The original run's `n` argument.
+    pub n: usize,
+    /// The original run's base seed.
+    pub seed: u64,
+    /// Why the original trial was dumped.
+    pub reason: String,
+    /// The original verdict (replay must reproduce it).
+    pub verdict: String,
+    /// The original scores (replay must reproduce them).
+    pub scores: Vec<(String, f64)>,
+}
+
+/// Serializes a dump as a replayable bundle. `n` is the originating
+/// run's trials-per-cell argument — together with the record's seed it
+/// pins the exact configuration the trial ran under.
+pub fn bundle_to_json(dump: &Dump, n: usize) -> String {
+    let r = &dump.record;
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {},\n  \"kind\": \"flight_bundle\",\n",
+        crate::SCHEMA_VERSION
+    ));
+    out.push_str(&format!("  \"reason\": \"{}\",\n", json_escape(&dump.reason)));
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", json_escape(&r.experiment)));
+    out.push_str(&format!("  \"cell\": \"{}\",\n", json_escape(&r.cell)));
+    out.push_str(&format!("  \"index\": {},\n", r.index));
+    out.push_str(&format!("  \"n\": {n},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", r.seed));
+    out.push_str(&format!("  \"derived_seed\": {},\n", r.derived_seed));
+    out.push_str(&format!("  \"protocol\": \"{}\",\n", json_escape(r.protocol)));
+    out.push_str("  \"stages\": [");
+    for (i, (stage, us)) in r.stages.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("[\"{}\", {us:.1}]", json_escape(stage)));
+    }
+    out.push_str("],\n  \"scores\": [");
+    for (i, (name, value)) in r.scores.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("[\"{}\", {value}]", json_escape(name)));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"verdict\": \"{}\"\n", json_escape(&r.verdict)));
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a bundle written by [`bundle_to_json`].
+pub fn parse_bundle(text: &str) -> Result<Bundle, String> {
+    let json = parse_json(text)?;
+    let kind = json.get("kind").and_then(|k| k.as_str()).unwrap_or_default();
+    if kind != "flight_bundle" {
+        return Err(format!("not a flight bundle (kind {kind:?})"));
+    }
+    let str_field = |name: &str| -> Result<String, String> {
+        json.get(name)
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| format!("bundle missing string field {name:?}"))
+    };
+    let num_field = |name: &str| -> Result<f64, String> {
+        json.get(name)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("bundle missing numeric field {name:?}"))
+    };
+    let mut scores = Vec::new();
+    if let Some(arr) = json.get("scores").and_then(|v| v.as_arr()) {
+        for pair in arr {
+            let entry = pair.as_arr().ok_or("malformed score entry")?;
+            match (entry.first().and_then(|e| e.as_str()), entry.get(1).and_then(|e| e.as_f64())) {
+                (Some(name), Some(value)) => scores.push((name.to_string(), value)),
+                _ => return Err("malformed score entry".to_string()),
+            }
+        }
+    }
+    Ok(Bundle {
+        experiment: str_field("experiment")?,
+        cell: str_field("cell")?,
+        index: num_field("index")? as u64,
+        n: num_field("n")? as usize,
+        seed: num_field("seed")? as u64,
+        reason: str_field("reason")?,
+        verdict: str_field("verdict")?,
+        scores,
+    })
+}
+
+/// Serializes tests that manipulate the global recorder state.
+#[doc(hidden)]
+pub fn tests_serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(cell: &str, index: u64, verdict: &str) {
+        begin_trial("unit", cell, index, 42, 1000 + index, "BLE");
+        note_stage("modulate", 12.5);
+        note_stage("decode", 250.0);
+        note_score("tag_errors", if verdict == "ok" { 0.0 } else { 3.0 });
+        end_trial(verdict);
+    }
+
+    #[test]
+    fn failures_dump_and_ring_stays_bounded() {
+        let _guard = tests_serial();
+        arm(FlightConfig { ring: 4, ..FlightConfig::default() });
+        for i in 0..10 {
+            trial("cell/a", i, if i == 7 { "decode_fail" } else { "ok" });
+        }
+        let stats = stats();
+        assert_eq!(stats.trials, 10);
+        assert_eq!(stats.ring_len, 4, "ring must stay bounded");
+        let dumps = take_dumps();
+        disarm();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "decode_fail");
+        assert_eq!(dumps[0].record.index, 7);
+        assert_eq!(dumps[0].record.stages.len(), 2);
+    }
+
+    #[test]
+    fn slow_stage_threshold_and_dump_cap() {
+        let _guard = tests_serial();
+        arm(FlightConfig { slow_stage_us: 100.0, max_dumps: 2, ..FlightConfig::default() });
+        for i in 0..5 {
+            trial("cell/slow", i, "ok"); // decode stage is 250 µs > 100
+        }
+        let stats = stats();
+        assert_eq!(stats.dumps, 2, "dump cap");
+        assert_eq!(stats.suppressed, 3);
+        let dumps = take_dumps();
+        disarm();
+        assert!(dumps.iter().all(|d| d.reason == "slow_stage:decode"));
+    }
+
+    #[test]
+    fn disarmed_recorder_observes_nothing() {
+        let _guard = tests_serial();
+        arm(FlightConfig::default());
+        disarm();
+        trial("cell/x", 0, "decode_fail");
+        assert_eq!(stats().trials, 0);
+        assert!(take_dumps().is_empty());
+    }
+
+    #[test]
+    fn replay_target_captures_ok_trials_too() {
+        let _guard = tests_serial();
+        arm(FlightConfig::default());
+        set_replay_target("cell/b".to_string(), 3);
+        assert_eq!(replay_target(), Some(("cell/b".to_string(), 3)));
+        for i in 0..5 {
+            trial("cell/b", i, "ok");
+        }
+        clear_replay_target();
+        let captured = take_captured().expect("target trial captured");
+        disarm();
+        let _ = take_dumps();
+        assert_eq!(captured.index, 3);
+        assert_eq!(captured.verdict, "ok");
+        assert_eq!(captured.scores, vec![("tag_errors", 0.0)]);
+    }
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let dump = Dump {
+            reason: "decode_fail".to_string(),
+            record: TrialRecord {
+                experiment: "fig13".to_string(),
+                cell: "los/BLE/32".to_string(),
+                index: 5,
+                seed: 42,
+                derived_seed: 0xDEAD_BEEF,
+                protocol: "BLE",
+                stages: vec![("modulate", 10.0), ("decode", 300.5)],
+                scores: vec![("tag_errors", 7.0), ("tag_bits", 16.0)],
+                verdict: "decode_fail".to_string(),
+            },
+        };
+        let json = bundle_to_json(&dump, 24);
+        let bundle = parse_bundle(&json).expect("parse bundle");
+        assert_eq!(bundle.experiment, "fig13");
+        assert_eq!(bundle.cell, "los/BLE/32");
+        assert_eq!(bundle.index, 5);
+        assert_eq!(bundle.n, 24);
+        assert_eq!(bundle.seed, 42);
+        assert_eq!(bundle.reason, "decode_fail");
+        assert_eq!(bundle.verdict, "decode_fail");
+        assert_eq!(
+            bundle.scores,
+            vec![("tag_errors".to_string(), 7.0), ("tag_bits".to_string(), 16.0)]
+        );
+        assert!(parse_bundle("{\"kind\": \"other\"}").is_err());
+    }
+}

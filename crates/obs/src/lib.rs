@@ -16,6 +16,13 @@
 //! * **Run manifests** ([`manifest`]): git revision, RNG seed, config
 //!   knobs, and per-experiment wall-clock, written alongside results so
 //!   any metrics file can be traced back to the run that produced it.
+//! * **Span profiler** ([`profile`]): aggregates spans and stage
+//!   timings into a call-tree profile with folded-stack
+//!   (flamegraph-compatible) and JSON output (`paper --profile`).
+//! * **Flight recorder** ([`flight`]): a bounded ring of per-trial
+//!   context that dumps replayable failure bundles (`paper replay`).
+//! * **Live progress** ([`progress`]) and **pool utilization**
+//!   ([`pool`]): run-level counters and the stderr ticker.
 //!
 //! ## Naming scheme
 //!
@@ -29,13 +36,23 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod manifest;
 pub mod metrics;
+pub mod pool;
+pub mod profile;
+pub mod progress;
 pub mod trace;
 
 pub use manifest::RunManifest;
 pub use metrics::Registry;
 pub use trace::{SpanGuard, Subscriber};
+
+/// Version of every JSON artifact this stack writes (reports, metrics
+/// exports, manifests, profiles, flight bundles). Bump whenever any
+/// exported schema changes shape; `crates/obs/tests/schema_golden.rs`
+/// pins the current shapes to this number.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Emits a structured trace event when a subscriber is installed.
 ///
@@ -56,8 +73,10 @@ macro_rules! event {
 }
 
 /// Opens a timed span; the returned guard emits a `Kind::SpanExit`
-/// event carrying `dur_us` when dropped. Costs one atomic load when
-/// tracing is disabled.
+/// event carrying `dur_us` when dropped, and opens a [`profile`]
+/// frame when the profiler is collecting. Costs two relaxed atomic
+/// loads when both tracing and profiling are disabled; the field list
+/// is only built when tracing is on.
 ///
 /// ```
 /// let _span = msc_obs::span!("pipe.decode", proto = "zigbee");
@@ -69,6 +88,8 @@ macro_rules! span {
             let __fields: ::std::vec::Vec<$crate::trace::Field> =
                 $crate::__obs_fields!(@acc [] $($($fields)*)?);
             $crate::trace::SpanGuard::enter($name, __fields)
+        } else if $crate::profile::enabled() {
+            $crate::trace::SpanGuard::profiled_only($name)
         } else {
             $crate::trace::SpanGuard::disabled()
         }

@@ -22,8 +22,8 @@ pub struct ExperimentRun {
 /// The provenance record for one invocation of the paper harness.
 #[derive(Clone, Debug)]
 pub struct RunManifest {
-    /// Manifest schema version.
-    pub schema: u32,
+    /// Export schema version ([`crate::SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Unix timestamp (seconds) when the run started.
     pub created_unix_s: u64,
     /// `git` revision of the working tree (`unknown` outside a repo).
@@ -53,7 +53,7 @@ impl RunManifest {
     /// revision (resolved from `repo_root`), command line, and knobs.
     pub fn start(repo_root: &Path, n: usize, seed: u64, full: bool) -> Self {
         RunManifest {
-            schema: 1,
+            schema_version: crate::SCHEMA_VERSION,
             created_unix_s: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_secs())
@@ -84,7 +84,7 @@ impl RunManifest {
     /// Serializes the manifest as pretty-enough JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
         let _ = writeln!(out, "  \"created_unix_s\": {},", self.created_unix_s);
         let _ = writeln!(out, "  \"git_rev\": \"{}\",", json_escape(&self.git_rev));
         let args: Vec<String> =
@@ -159,6 +159,10 @@ mod tests {
         assert_eq!(v.get("seed").unwrap().as_f64().unwrap() as u64, 42);
         assert_eq!(v.get("n").unwrap().as_f64().unwrap() as usize, 12);
         assert_eq!(v.get("git_rev").unwrap().as_str().unwrap(), "unknown");
+        assert_eq!(
+            v.get("schema_version").unwrap().as_f64().unwrap() as u32,
+            crate::SCHEMA_VERSION
+        );
         let exps = v.get("experiments").unwrap().as_arr().unwrap();
         assert_eq!(exps.len(), 2);
         assert_eq!(exps[0].get("id").unwrap().as_str().unwrap(), "fig05");

@@ -313,17 +313,35 @@ pub fn hist_observe(
 }
 
 /// Runs `f`, recording its wall-clock into the `pipe.stage_us`
-/// histogram for `(protocol, stage)` when metrics are enabled. The
-/// disabled path calls `f` directly — no clock read.
+/// histogram for `(protocol, stage)` when metrics are enabled, into
+/// the current [`crate::profile`] tree as a named frame when the
+/// profiler is collecting, and into the open [`crate::flight`] trial
+/// when the recorder is armed. The fully-disabled path calls `f`
+/// directly — no clock read, three relaxed atomic loads.
 #[inline]
 pub fn time_stage<T>(protocol: &'static str, stage: &'static str, f: impl FnOnce() -> T) -> T {
-    if !enabled() {
+    let metrics = enabled();
+    let flight = crate::flight::armed();
+    if !metrics && !flight && !crate::profile::enabled() {
         return f();
     }
+    // A real profiler frame (not a post-hoc leaf) so spans inside `f`
+    // — e.g. `rx.decode` — nest under this stage in the tree.
+    let frame = crate::profile::scope(stage);
     let t0 = Instant::now();
     let out = f();
     let us = t0.elapsed().as_secs_f64() * 1e6;
-    Registry::global().hist_observe(key("pipe.stage_us", protocol, stage), us, buckets::LATENCY_US);
+    drop(frame);
+    if metrics {
+        Registry::global().hist_observe(
+            key("pipe.stage_us", protocol, stage),
+            us,
+            buckets::LATENCY_US,
+        );
+    }
+    if flight {
+        crate::flight::note_stage(stage, us);
+    }
     out
 }
 
@@ -344,6 +362,9 @@ pub mod buckets {
         &[-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0];
     /// Bit-error rates, decade edges.
     pub const BER: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0];
+    /// Small integer counts (queue depths, outstanding chunks).
+    pub const COUNT: &[f64] =
+        &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
 }
 
 /// Serializes tests that manipulate the global registry / enable flag.

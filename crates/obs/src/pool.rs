@@ -1,0 +1,103 @@
+//! Thread-pool utilization accounting.
+//!
+//! `msc-par` reports one record per fan-out call: how long the call
+//! took, how much of that the workers spent executing items versus
+//! idling (started-up-but-starved, or done-and-waiting-for-join), and
+//! the chunk-claim overhead. The counters are plain atomics so the
+//! pool can report unconditionally — the live progress ticker and the
+//! final metrics export both read them through [`snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+static ITEMS: AtomicU64 = AtomicU64::new(0);
+static WALL_US: AtomicU64 = AtomicU64::new(0);
+static BUSY_US: AtomicU64 = AtomicU64::new(0);
+static IDLE_US: AtomicU64 = AtomicU64::new(0);
+static CLAIM_US: AtomicU64 = AtomicU64::new(0);
+
+/// Records one completed pool call. `busy_us`/`idle_us`/`claim_us`
+/// are summed across that call's workers; `claim_us` may be 0 when
+/// per-chunk tracking was off.
+pub fn record_call(wall_us: f64, busy_us: f64, idle_us: f64, claim_us: f64, items: u64) {
+    CALLS.fetch_add(1, Ordering::Relaxed);
+    ITEMS.fetch_add(items, Ordering::Relaxed);
+    WALL_US.fetch_add(wall_us as u64, Ordering::Relaxed);
+    BUSY_US.fetch_add(busy_us as u64, Ordering::Relaxed);
+    IDLE_US.fetch_add(idle_us as u64, Ordering::Relaxed);
+    CLAIM_US.fetch_add(claim_us as u64, Ordering::Relaxed);
+}
+
+/// Cumulative pool totals since the last [`reset`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Fan-out calls completed.
+    pub calls: u64,
+    /// Items mapped across all calls.
+    pub items: u64,
+    /// Wall-clock spent inside pool calls, µs.
+    pub wall_us: u64,
+    /// Worker time spent executing items (summed across workers), µs.
+    pub busy_us: u64,
+    /// Worker time spent not executing items, µs.
+    pub idle_us: u64,
+    /// Chunk-claim/steal overhead (busy minus item execution), µs.
+    pub claim_us: u64,
+}
+
+impl PoolStats {
+    /// Workers' busy fraction: busy / (busy + idle), 1.0 when the pool
+    /// has not run.
+    pub fn utilization(&self) -> f64 {
+        let denom = (self.busy_us + self.idle_us) as f64;
+        if denom <= 0.0 {
+            1.0
+        } else {
+            self.busy_us as f64 / denom
+        }
+    }
+}
+
+/// Reads the cumulative totals.
+pub fn snapshot() -> PoolStats {
+    PoolStats {
+        calls: CALLS.load(Ordering::Relaxed),
+        items: ITEMS.load(Ordering::Relaxed),
+        wall_us: WALL_US.load(Ordering::Relaxed),
+        busy_us: BUSY_US.load(Ordering::Relaxed),
+        idle_us: IDLE_US.load(Ordering::Relaxed),
+        claim_us: CLAIM_US.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the totals (start of a run, tests).
+pub fn reset() {
+    CALLS.store(0, Ordering::Relaxed);
+    ITEMS.store(0, Ordering::Relaxed);
+    WALL_US.store(0, Ordering::Relaxed);
+    BUSY_US.store(0, Ordering::Relaxed);
+    IDLE_US.store(0, Ordering::Relaxed);
+    CLAIM_US.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_reset() {
+        let _guard = crate::profile::tests_serial();
+        reset();
+        record_call(100.0, 300.0, 100.0, 10.0, 64);
+        record_call(50.0, 150.0, 50.0, 5.0, 32);
+        let s = snapshot();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.items, 96);
+        assert_eq!(s.busy_us, 450);
+        assert_eq!(s.idle_us, 150);
+        assert!((s.utilization() - 0.75).abs() < 1e-9);
+        reset();
+        assert_eq!(snapshot().calls, 0);
+        assert_eq!(PoolStats::default().utilization(), 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Live run progress: a stderr ticker for long `paper` runs.
+//!
+//! The simulation layer bumps three atomic counters — experiments
+//! done, cells done, trials done — and [`start`] spawns a ticker
+//! thread that renders them to stderr together with the trial rate,
+//! an ETA extrapolated from experiments completed so far, and the
+//! worker utilization from [`crate::pool`]. On a TTY the line redraws
+//! in place four times a second; on a pipe (CI logs) it prints a full
+//! line every few seconds instead. `paper --no-progress` skips
+//! [`start`] entirely, and the same counters are exported as gauges in
+//! the final metrics either way.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+static EXPERIMENTS_DONE: AtomicU64 = AtomicU64::new(0);
+static EXPERIMENTS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static CELLS: AtomicU64 = AtomicU64::new(0);
+static TRIALS: AtomicU64 = AtomicU64::new(0);
+
+/// Zeroes the progress counters and records the run's experiment
+/// count.
+pub fn reset(total_experiments: u64) {
+    EXPERIMENTS_DONE.store(0, Ordering::Relaxed);
+    EXPERIMENTS_TOTAL.store(total_experiments, Ordering::Relaxed);
+    CELLS.store(0, Ordering::Relaxed);
+    TRIALS.store(0, Ordering::Relaxed);
+}
+
+/// Marks one experiment cell finished.
+#[inline]
+pub fn add_cell() {
+    CELLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds `n` finished Monte-Carlo trials.
+#[inline]
+pub fn add_trials(n: u64) {
+    TRIALS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Marks one experiment finished (drives the ETA).
+#[inline]
+pub fn experiment_done() {
+    EXPERIMENTS_DONE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the progress counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Experiments finished.
+    pub experiments_done: u64,
+    /// Experiments the run will execute.
+    pub experiments_total: u64,
+    /// Cells finished.
+    pub cells: u64,
+    /// Trials finished.
+    pub trials: u64,
+}
+
+/// Reads the counters.
+pub fn counters() -> Counters {
+    Counters {
+        experiments_done: EXPERIMENTS_DONE.load(Ordering::Relaxed),
+        experiments_total: EXPERIMENTS_TOTAL.load(Ordering::Relaxed),
+        cells: CELLS.load(Ordering::Relaxed),
+        trials: TRIALS.load(Ordering::Relaxed),
+    }
+}
+
+fn human_count(n: f64) -> String {
+    if n >= 1e6 {
+        format!("{:.1}M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1}k", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
+}
+
+fn render(t0: Instant) -> String {
+    let c = counters();
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let rate = c.trials as f64 / elapsed;
+    let eta = if c.experiments_done > 0 && c.experiments_total > c.experiments_done {
+        let remaining = (c.experiments_total - c.experiments_done) as f64;
+        let per = elapsed / c.experiments_done as f64;
+        format!("{:.0}s", per * remaining)
+    } else {
+        "--".to_string()
+    };
+    let util = crate::pool::snapshot().utilization();
+    format!(
+        "[paper] exp {}/{} · cells {} · trials {} · {}/s · workers {:.0}% busy · eta {}",
+        c.experiments_done,
+        c.experiments_total,
+        c.cells,
+        human_count(c.trials as f64),
+        human_count(rate),
+        util * 100.0,
+        eta
+    )
+}
+
+/// Handle for a running ticker; call [`ProgressTicker::finish`] (or
+/// drop) to stop it and clear the line.
+pub struct ProgressTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Starts the ticker thread. Resets the counters for a run of
+/// `total_experiments` experiments.
+pub fn start(total_experiments: u64) -> ProgressTicker {
+    reset(total_experiments);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let t0 = Instant::now();
+    let tty = std::io::stderr().is_terminal();
+    let handle = std::thread::Builder::new()
+        .name("msc-progress".to_string())
+        .spawn(move || {
+            // TTY: redraw in place at 4 Hz. Pipe: one full line every
+            // 2 s so CI logs stay readable. Poll the stop flag at
+            // 50 ms so finish() never blocks long.
+            let interval = if tty { 250 } else { 2000 };
+            let mut since_render = 0u64;
+            let mut drew = false;
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                since_render += 50;
+                if since_render < interval {
+                    continue;
+                }
+                since_render = 0;
+                let line = render(t0);
+                let mut err = std::io::stderr().lock();
+                if tty {
+                    let _ = write!(err, "\r\x1b[2K{line}");
+                    let _ = err.flush();
+                    drew = true;
+                } else {
+                    let _ = writeln!(err, "{line}");
+                }
+            }
+            if tty && drew {
+                let mut err = std::io::stderr().lock();
+                let _ = write!(err, "\r\x1b[2K");
+                let _ = err.flush();
+            }
+        })
+        .expect("spawn progress ticker");
+    ProgressTicker { stop, handle: Some(handle) }
+}
+
+impl ProgressTicker {
+    /// Stops the ticker, joins the thread, and prints one final
+    /// summary line to stderr.
+    pub fn finish(mut self) {
+        self.stop_and_join();
+        // One closing line so even TTY runs keep a durable record.
+        eprintln!("{}", render_final());
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressTicker {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn render_final() -> String {
+    let c = counters();
+    let util = crate::pool::snapshot().utilization();
+    format!(
+        "[paper] done: {} experiments · {} cells · {} trials · workers {:.0}% busy",
+        c.experiments_done,
+        c.cells,
+        human_count(c.trials as f64),
+        util * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_and_ticker_stops_cleanly() {
+        let _guard = crate::profile::tests_serial();
+        let ticker = start(3);
+        add_cell();
+        add_cell();
+        add_trials(100);
+        experiment_done();
+        let c = counters();
+        assert_eq!(c.experiments_done, 1);
+        assert_eq!(c.experiments_total, 3);
+        assert_eq!(c.cells, 2);
+        assert_eq!(c.trials, 100);
+        let line = render(Instant::now());
+        assert!(line.contains("exp 1/3"), "{line}");
+        assert!(line.contains("cells 2"), "{line}");
+        ticker.finish();
+    }
+
+    #[test]
+    fn human_counts_abbreviate() {
+        assert_eq!(human_count(950.0), "950");
+        assert_eq!(human_count(12_300.0), "12.3k");
+        assert_eq!(human_count(4_000_000.0), "4.0M");
+    }
+}

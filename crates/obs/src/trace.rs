@@ -93,26 +93,46 @@ pub fn emit(kind: Kind, name: &str, fields: Vec<Field>) {
 }
 
 /// The guard returned by [`crate::span!`]: emits `SpanExit` with a
-/// `dur_us` field when dropped.
+/// `dur_us` field when dropped, and closes the matching
+/// [`crate::profile`] frame when the profiler is collecting.
 pub struct SpanGuard {
     state: Option<(&'static str, Instant, Vec<Field>)>,
+    profiled: bool,
 }
 
 impl SpanGuard {
-    /// Opens a live span (tracing enabled at the call site).
+    /// Opens a live span (tracing enabled at the call site). Also
+    /// opens a profiler frame when the profiler is collecting.
     pub fn enter(name: &'static str, fields: Vec<Field>) -> Self {
         emit(Kind::SpanEnter, name, fields.clone());
-        SpanGuard { state: Some((name, Instant::now(), fields)) }
+        let profiled = crate::profile::enabled();
+        if profiled {
+            crate::profile::enter_frame(name);
+        }
+        SpanGuard { state: Some((name, Instant::now(), fields)), profiled }
     }
 
-    /// The no-op guard used when tracing is disabled.
+    /// Opens a profiler-only span (profiling on, tracing off): no
+    /// subscriber events, no field allocation.
+    pub fn profiled_only(name: &'static str) -> Self {
+        let profiled = crate::profile::enabled();
+        if profiled {
+            crate::profile::enter_frame(name);
+        }
+        SpanGuard { state: None, profiled }
+    }
+
+    /// The no-op guard used when tracing and profiling are disabled.
     pub fn disabled() -> Self {
-        SpanGuard { state: None }
+        SpanGuard { state: None, profiled: false }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::exit_frame();
+        }
         if let Some((name, start, mut fields)) = self.state.take() {
             let dur_us = start.elapsed().as_secs_f64() * 1e6;
             fields.push(Field::display("dur_us", &format_args!("{dur_us:.1}")));

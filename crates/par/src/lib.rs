@@ -43,10 +43,28 @@ pub fn threads() -> usize {
     }
 }
 
+/// What one worker brought back: its result chunks plus its own time
+/// accounting for the pool-utilization report.
+struct WorkerOut<U> {
+    chunks: Vec<(usize, Vec<U>)>,
+    /// Worker lifetime (spawn to last chunk done), µs.
+    busy_us: f64,
+    /// Time inside item execution (tracked only while profiling), µs.
+    exec_us: f64,
+}
+
 /// Maps `f` over `0..n` on the configured worker pool, returning results
 /// in index order. Deterministic for any thread count provided `f` is a
 /// pure function of its index (see the crate docs for the seed-derivation
 /// pattern that makes stochastic work pure).
+///
+/// Every call reports its utilization (worker busy/idle time, items) to
+/// [`msc_obs::pool`]; with the profiler collecting, workers additionally
+/// adopt the caller's open frame path so per-stage time lands under a
+/// `par.run` → `par.worker` subtree, with the workers' combined idle and
+/// chunk-claim time recorded alongside (`par.idle` / `par.claim`), and
+/// the outstanding-chunk count feeds the `par.queue_depth` histogram
+/// when metrics are enabled.
 pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
 where
     U: Send,
@@ -54,7 +72,12 @@ where
 {
     let workers = threads().min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let _frame = msc_obs::profile::scope("par.run");
+        let t0 = std::time::Instant::now();
+        let out: Vec<U> = (0..n).map(f).collect();
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        msc_obs::pool::record_call(us, us, 0.0, 0.0, n as u64);
+        return out;
     }
     // Chunked dynamic scheduling: workers claim fixed-size index chunks
     // from a shared counter. Chunks are small enough to balance skewed
@@ -62,32 +85,79 @@ where
     let chunk = (n / (workers * 8)).max(1);
     let n_chunks = n.div_ceil(chunk);
     let next = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, Vec<U>)>> = Vec::with_capacity(workers);
+    let _frame = msc_obs::profile::scope("par.run");
+    let fork = msc_obs::profile::fork_context();
+    let profiling = msc_obs::profile::enabled();
+    let metrics_on = msc_obs::metrics::enabled();
+    let t_call = std::time::Instant::now();
+    let mut per_worker: Vec<WorkerOut<U>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
-                    loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
+            .map(|w| {
+                let fork = &fork;
+                let next = &next;
+                let f = &f;
+                std::thread::Builder::new()
+                    .name(format!("par-{w}"))
+                    .spawn_scoped(scope, move || {
+                        let _worker = msc_obs::profile::worker_scope(fork);
+                        let t0 = std::time::Instant::now();
+                        let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
+                        let mut exec_us = 0.0;
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            if metrics_on {
+                                msc_obs::metrics::hist_observe(
+                                    "par.queue_depth",
+                                    "",
+                                    "",
+                                    n_chunks.saturating_sub(c + 1) as f64,
+                                    msc_obs::metrics::buckets::COUNT,
+                                );
+                            }
+                            let start = c * chunk;
+                            let end = (start + chunk).min(n);
+                            if profiling {
+                                let te = std::time::Instant::now();
+                                mine.push((c, (start..end).map(f).collect()));
+                                exec_us += te.elapsed().as_secs_f64() * 1e6;
+                            } else {
+                                mine.push((c, (start..end).map(f).collect()));
+                            }
                         }
-                        let start = c * chunk;
-                        let end = (start + chunk).min(n);
-                        mine.push((c, (start..end).map(&f).collect()));
-                    }
-                    mine
-                })
+                        let busy_us = t0.elapsed().as_secs_f64() * 1e6;
+                        WorkerOut { chunks: mine, busy_us, exec_us }
+                    })
+                    .expect("spawn msc-par worker")
             })
             .collect();
         for h in handles {
             per_worker.push(h.join().expect("msc-par worker panicked"));
         }
     });
+    let wall_us = t_call.elapsed().as_secs_f64() * 1e6;
+    let busy_us: f64 = per_worker.iter().map(|w| w.busy_us).sum();
+    // Idle = the slice of the call's wall each worker did not spend in
+    // its claim loop (spawn latency, done-and-waiting-for-join). Claim
+    // = loop time not inside item execution (chunk-claim contention);
+    // only meaningful when per-chunk tracking was on.
+    let idle_us: f64 = per_worker.iter().map(|w| (wall_us - w.busy_us).max(0.0)).sum();
+    let claim_us: f64 = if profiling {
+        per_worker.iter().map(|w| (w.busy_us - w.exec_us).max(0.0)).sum()
+    } else {
+        0.0
+    };
+    msc_obs::pool::record_call(wall_us, busy_us, idle_us, claim_us, n as u64);
+    if profiling {
+        msc_obs::profile::record_external(&fork, "par.idle", idle_us);
+        msc_obs::profile::record_external(&fork, "par.claim", claim_us);
+    }
     // Reassemble in chunk order — the output is independent of which
     // worker ran which chunk.
-    let mut chunks: Vec<(usize, Vec<U>)> = per_worker.into_iter().flatten().collect();
+    let mut chunks: Vec<(usize, Vec<U>)> = per_worker.into_iter().flat_map(|w| w.chunks).collect();
     chunks.sort_by_key(|&(c, _)| c);
     let mut out = Vec::with_capacity(n);
     for (_, mut v) in chunks {
@@ -194,5 +264,34 @@ mod tests {
     fn threads_clamps_to_one() {
         set_threads(0);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn pool_reports_utilization_and_profile_frames() {
+        let _guard = msc_obs::profile::tests_serial();
+        msc_obs::profile::reset();
+        msc_obs::pool::reset();
+        msc_obs::profile::enable();
+        set_threads(4);
+        let work = |i: usize| (0..2_000u64).fold(i as u64, |a, b| a.wrapping_add(b * b));
+        let out = {
+            let _root = msc_obs::profile::scope("par.test");
+            par_map_indexed(64, work)
+        };
+        msc_obs::profile::disable();
+        set_threads(0);
+        let want: Vec<u64> = (0..64).map(work).collect();
+        assert_eq!(out, want, "instrumentation must not change results");
+
+        let stats = msc_obs::pool::snapshot();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.items, 64);
+        assert!(stats.wall_us > 0, "{stats:?}");
+
+        let profile = msc_obs::profile::take();
+        let paths: Vec<&str> = profile.nodes.iter().map(|n| n.path.as_str()).collect();
+        assert!(paths.contains(&"par.test;par.run"), "{paths:?}");
+        assert!(paths.contains(&"par.test;par.run;par.worker"), "{paths:?}");
+        assert!(paths.contains(&"par.test;par.run;par.idle"), "{paths:?}");
     }
 }

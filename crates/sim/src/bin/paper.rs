@@ -6,65 +6,47 @@
 //! cargo run -p msc-sim --release --bin paper -- all
 //! cargo run -p msc-sim --release --bin paper -- all --full   # larger Monte Carlo
 //! cargo run -p msc-sim --release --bin paper -- all --metrics-out out/
+//! cargo run -p msc-sim --release --bin paper -- all --profile
 //! cargo run -p msc-sim --release --bin paper -- fig13 --trace
+//! cargo run -p msc-sim --release --bin paper -- replay out/flight/bundle_0_decode_fail.json
 //! ```
 //!
 //! `--metrics-out <dir>` enables the observability layer and writes a
 //! run manifest (`manifest.json`), the full metric registry
-//! (`metrics.jsonl`, `metrics.csv`), and each experiment's table as
-//! JSON (`reports/<id>.json`). `--trace` streams structured trace
-//! events to stderr. Neither flag changes the default table output.
+//! (`metrics.jsonl`, `metrics.csv`), each experiment's table as JSON
+//! (`reports/<id>.json`), and — with the flight recorder armed — any
+//! failure bundles (`flight/bundle_*.json`). `--trace` streams
+//! structured trace events to stderr. `--profile` collects a span
+//! profile and writes `profile.folded` (flamegraph-compatible) and
+//! `profile.json` next to the metrics (or into the working directory
+//! without `--metrics-out`). None of these flags change the table
+//! output: observability only reads clocks, never RNG state.
+//!
+//! A progress ticker reports cells/trials/ETA/worker-utilization on
+//! stderr while experiments run; `--no-progress` silences it for CI
+//! logs. `--flight-slow-us N` additionally dumps trials whose slowest
+//! stage exceeds N µs.
+//!
+//! `replay <bundle.json>` re-runs exactly the trial a bundle describes
+//! (skipping all other cells) and verifies it reproduces the recorded
+//! scores and verdict — the determinism contract, exercised on demand.
 //!
 //! `--threads N` sizes the Monte-Carlo worker pool (default: available
 //! parallelism). Results are bit-identical at any thread count — seeds
 //! derive per packet from `(seed, cell, index)`, never from a shared
 //! stream.
 
-use msc_sim::experiments as exp;
-use msc_sim::report::Report;
+use msc_sim::experiments::{find, Runner, REGISTRY};
 use std::path::PathBuf;
-
-type Runner = fn(usize, u64) -> Report;
-
-const EXPERIMENTS: &[(&str, &str, Runner)] = &[
-    ("fig4", "rectifier: clamp vs basic, ours vs WISP", exp::fig04::run),
-    ("fig5", "identification accuracy vs (L_p, L_m) at 20 Msps", exp::fig05::run),
-    ("fig6", "ordered-matching chain + score separation", exp::fig06::run),
-    ("fig7", "blind vs ordered matching at 10 Msps quantized", exp::fig07::run),
-    ("fig8", "low-rate identification + 40 µs window extension", exp::fig08::run),
-    ("fig9", "baseline occlusion BER + modulation offsets", exp::fig09::run),
-    ("tab1", "system taxonomy, demonstrated by execution", exp::tab1::run),
-    ("tab2", "FPGA resource comparison", exp::tables::tab2),
-    ("tab3", "prototype power budget", exp::tables::tab3),
-    ("tab4", "tag-data exchange times from harvested energy", exp::tables::tab4),
-    ("tab5", "identification power efficiency", exp::tables::tab5),
-    ("tab6", "overlay modes", exp::tables::tab6),
-    ("fig12", "throughput tradeoffs across modes", exp::fig12::run),
-    ("fig13", "LoS RSSI/BER/throughput vs distance", exp::fig13::run),
-    ("fig14", "NLoS RSSI/BER/throughput vs distance", exp::fig14::run),
-    ("fig15", "occluded original channel: multiscatter vs baselines", exp::fig15::run),
-    ("fig16", "colliding excitations (time & frequency)", exp::fig16::run),
-    ("fig17", "tag BER vs reference-symbol modulation", exp::fig17::run),
-    ("fig18", "excitation diversity", exp::fig18::run),
-    ("fig18-dyn", "uninterrupted backscatter on a packet timeline", exp::fig18::run_dynamic),
-    ("ext-fec", "future work: FEC tag coding vs repetition", exp::extensions::ext_fec),
-    ("ext-filter", "future work: tag band filter vs collisions", exp::extensions::ext_filter),
-    ("ext-wakeup", "future work: wake-up-receiver power gating", exp::extensions::ext_wakeup),
-    ("ext-multitag", "extension: two tags TDM-share one carrier", exp::extensions::ext_multitag),
-    ("abl-bits", "ablation: quantization width vs accuracy/cost", exp::ablations::abl_bits),
-    ("abl-gamma", "ablation: ZigBee tag spreading vs SNR", exp::ablations::abl_gamma),
-    ("abl-slope", "ablation: FM-to-AM front-end slope", exp::ablations::abl_slope),
-    ("abl-lag", "ablation: correlator lag-search radius", exp::ablations::abl_lag),
-    ("abl-cfo", "ablation: CFO tolerance per protocol", exp::ablations::abl_cfo),
-    ("tab4-dyn", "event-driven energy lifecycle (dynamic Table 4)", exp::energy_dyn::run),
-];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--threads N] [--metrics-out <dir>] [--no-wave-cache]"
+        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--profile] \
+         [--threads N] [--metrics-out <dir>] [--no-wave-cache] [--no-progress] \
+         [--flight-slow-us N]\n       paper replay <bundle.json> [--threads N] [--trace]"
     );
     eprintln!("experiments:");
-    for (id, desc, _) in EXPERIMENTS {
+    for (id, desc, _) in REGISTRY {
         eprintln!("  {id:6} {desc}");
     }
     std::process::exit(2);
@@ -77,6 +59,9 @@ fn main() {
     }
     let mut full = false;
     let mut trace = false;
+    let mut profile = false;
+    let mut no_progress = false;
+    let mut flight_slow_us = f64::INFINITY;
     let mut metrics_out: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -84,6 +69,8 @@ fn main() {
         match a.as_str() {
             "--full" => full = true,
             "--trace" => trace = true,
+            "--profile" => profile = true,
+            "--no-progress" => no_progress = true,
             // Resynthesize every cell's excitation instead of caching.
             // Results are byte-identical either way (the cache memoizes
             // a pure synthesis); this exists to demonstrate exactly that
@@ -95,6 +82,13 @@ fn main() {
                     usage();
                 };
                 msc_par::set_threads(v);
+            }
+            "--flight-slow-us" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--flight-slow-us needs a number (µs)\n");
+                    usage();
+                };
+                flight_slow_us = v;
             }
             "--metrics-out" => {
                 let Some(dir) = it.next() else {
@@ -111,6 +105,15 @@ fn main() {
         }
     }
     let which = positional.first().map(|s| s.as_str()).unwrap_or("");
+
+    if which == "replay" {
+        let Some(path) = positional.get(1) else {
+            eprintln!("replay needs a bundle path\n");
+            usage();
+        };
+        std::process::exit(run_replay(path, trace));
+    }
+
     let n: usize =
         positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(if full { 60 } else { 12 });
     let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
@@ -118,9 +121,17 @@ fn main() {
     if trace {
         msc_obs::trace::install(std::sync::Arc::new(msc_obs::trace::StderrSubscriber));
     }
+    if profile {
+        msc_obs::profile::reset();
+        msc_obs::profile::enable();
+    }
     let mut manifest = if metrics_out.is_some() {
         msc_obs::metrics::Registry::global().reset();
         msc_obs::metrics::enable();
+        msc_obs::flight::arm(msc_obs::flight::FlightConfig {
+            slow_stage_us: flight_slow_us,
+            ..Default::default()
+        });
         Some(
             msc_obs::RunManifest::start(std::path::Path::new("."), n, seed, full)
                 .with_threads(msc_par::threads()),
@@ -129,13 +140,17 @@ fn main() {
         None
     };
 
-    // Runs one experiment: ambient experiment label, wall-clock into the
-    // manifest, table JSON into <dir>/reports/.
-    let run_one = |id: &str, run: Runner, manifest: &mut Option<msc_obs::RunManifest>| {
+    // Runs one experiment: ambient experiment label, a profiler frame
+    // named after it, wall-clock into the manifest, table JSON into
+    // <dir>/reports/.
+    let run_one = |id: &'static str, run: Runner, manifest: &mut Option<msc_obs::RunManifest>| {
         msc_obs::metrics::set_experiment(id);
+        let frame = msc_obs::profile::scope(id);
         let t0 = std::time::Instant::now();
         let report = run(n, seed);
         let wall = t0.elapsed().as_secs_f64();
+        drop(frame);
+        msc_obs::progress::experiment_done();
         if let Some(m) = manifest.as_mut() {
             m.record(id, wall, report.len());
         }
@@ -148,17 +163,22 @@ fn main() {
         (report, wall)
     };
 
+    let total = if which == "all" { REGISTRY.len() } else { 1 };
+    msc_obs::progress::reset(total as u64);
+    let ticker = if no_progress { None } else { Some(msc_obs::progress::start(total as u64)) };
+    let root = msc_obs::profile::scope("paper.run");
+
     match which {
         "list" => usage(),
         "all" => {
-            for (id, _, run) in EXPERIMENTS {
+            for (id, _, run) in REGISTRY {
                 let (report, wall) = run_one(id, *run, &mut manifest);
                 println!("{}", report.render());
                 println!("  [{id} done in {wall:.1}s]\n");
             }
         }
         other => {
-            let Some((id, _, run)) = EXPERIMENTS.iter().find(|(id, _, _)| *id == other) else {
+            let Some((id, _, run)) = find(other) else {
                 eprintln!("unknown experiment: {other}\n");
                 usage();
             };
@@ -167,11 +187,26 @@ fn main() {
         }
     }
 
+    drop(root);
+    if let Some(t) = ticker {
+        t.finish();
+    }
+
     if let (Some(dir), Some(manifest)) = (&metrics_out, manifest) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        write_flight_bundles(dir, n);
         // Steady-state cache effectiveness: FFT-plan/scratch registry
-        // counters and the waveform cache's resident size.
+        // counters, the waveform cache, and the worker pool / flight /
+        // progress totals.
         msc_obs::metrics::set_experiment("run");
         let ps = msc_dsp::plan::stats();
+        let ws = msc_sim::wavecache::stats();
+        let pool = msc_obs::pool::snapshot();
+        let fs = msc_obs::flight::stats();
+        let pc = msc_obs::progress::counters();
         let g = msc_obs::metrics::gauge_set;
         g("dsp.plan_hits", "dsp", "plan", ps.plan_hits as f64);
         g("dsp.plan_misses", "dsp", "plan", ps.plan_misses as f64);
@@ -179,20 +214,155 @@ fn main() {
         g("dsp.scratch_allocs", "dsp", "scratch", ps.scratch_allocs as f64);
         g("dsp.probe_hits", "dsp", "probe", ps.probe_hits as f64);
         g("dsp.probe_misses", "dsp", "probe", ps.probe_misses as f64);
-        g("wavecache.len", "sim", "", msc_sim::wavecache::waveform_cache_len() as f64);
+        g("wavecache.len", "sim", "", ws.len as f64);
+        g("wavecache.hits_total", "sim", "", ws.hits as f64);
+        g("wavecache.misses_total", "sim", "", ws.misses as f64);
+        g("pool.busy_us", "par", "", pool.busy_us as f64);
+        g("pool.idle_us", "par", "", pool.idle_us as f64);
+        g("pool.utilization", "par", "", pool.utilization());
+        g("flight.trials", "obs", "", fs.trials as f64);
+        g("flight.dumps", "obs", "", fs.dumps as f64);
+        g("flight.suppressed", "obs", "", fs.suppressed as f64);
+        g("progress.cells", "obs", "", pc.cells as f64);
+        g("progress.trials", "obs", "", pc.trials as f64);
         let snap = msc_obs::metrics::Registry::global().snapshot();
         let write = |name: &str, body: String| {
             let path = dir.join(name);
             std::fs::write(&path, body)
                 .unwrap_or_else(|e| eprintln!("failed to write {}: {e}", path.display()));
         };
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("failed to create {}: {e}", dir.display());
-            std::process::exit(1);
-        }
         write("metrics.jsonl", msc_obs::export::to_jsonl(&snap));
         write("metrics.csv", msc_obs::export::to_csv(&snap));
         manifest.write(dir).unwrap_or_else(|e| eprintln!("failed to write manifest: {e}"));
         eprintln!("[obs] {} metrics + manifest + reports written to {}", snap.len(), dir.display());
+    }
+
+    if profile {
+        write_profile(metrics_out.as_deref());
+    }
+}
+
+/// Drains the flight recorder and writes each dump as a replayable
+/// bundle under `<dir>/flight/`.
+fn write_flight_bundles(dir: &std::path::Path, n: usize) {
+    let dumps = msc_obs::flight::take_dumps();
+    let stats = msc_obs::flight::stats();
+    if dumps.is_empty() {
+        return;
+    }
+    let flight_dir = dir.join("flight");
+    if let Err(e) = std::fs::create_dir_all(&flight_dir) {
+        eprintln!("failed to create {}: {e}", flight_dir.display());
+        return;
+    }
+    for (i, dump) in dumps.iter().enumerate() {
+        let slug: String =
+            dump.reason.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+        let path = flight_dir.join(format!("bundle_{i}_{slug}.json"));
+        std::fs::write(&path, msc_obs::flight::bundle_to_json(dump, n))
+            .unwrap_or_else(|e| eprintln!("failed to write {}: {e}", path.display()));
+    }
+    eprintln!(
+        "[flight] {} bundle(s) written to {} ({} suppressed) — inspect with `paper replay <bundle>`",
+        dumps.len(),
+        flight_dir.display(),
+        stats.suppressed
+    );
+}
+
+/// Takes the collected span profile and writes `profile.folded` +
+/// `profile.json` into `dir` (or the working directory).
+fn write_profile(dir: Option<&std::path::Path>) {
+    msc_obs::profile::disable();
+    let profile = msc_obs::profile::take();
+    let ps = msc_dsp::plan::stats();
+    let ws = msc_sim::wavecache::stats();
+    let pool = msc_obs::pool::snapshot();
+    let counters: Vec<(String, f64)> = vec![
+        ("dsp.plan_hits".into(), ps.plan_hits as f64),
+        ("dsp.plan_misses".into(), ps.plan_misses as f64),
+        ("dsp.scratch_reuses".into(), ps.scratch_reuses as f64),
+        ("dsp.scratch_allocs".into(), ps.scratch_allocs as f64),
+        ("wavecache.hits".into(), ws.hits as f64),
+        ("wavecache.misses".into(), ws.misses as f64),
+        ("wavecache.bypasses".into(), ws.bypasses as f64),
+        ("pool.busy_us".into(), pool.busy_us as f64),
+        ("pool.idle_us".into(), pool.idle_us as f64),
+        ("pool.utilization".into(), pool.utilization()),
+    ];
+    let dir = dir.unwrap_or_else(|| std::path::Path::new("."));
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create {}: {e}", dir.display());
+        return;
+    }
+    let write = |name: &str, body: String| {
+        let path = dir.join(name);
+        std::fs::write(&path, body)
+            .unwrap_or_else(|e| eprintln!("failed to write {}: {e}", path.display()));
+    };
+    write("profile.folded", profile.to_folded());
+    write("profile.json", profile.to_json(&counters));
+    eprintln!(
+        "[profile] {} span paths, {:.1}% of wall attributed — {}/profile.folded (flamegraph) + profile.json",
+        profile.nodes.len(),
+        profile.attributed_frac() * 100.0,
+        dir.display()
+    );
+}
+
+/// `paper replay <bundle>`: re-run one recorded trial and check it
+/// reproduces. Returns the process exit code.
+fn run_replay(path: &str, trace: bool) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let bundle = match msc_obs::flight::parse_bundle(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return 2;
+        }
+    };
+    if trace {
+        msc_obs::trace::install(std::sync::Arc::new(msc_obs::trace::StderrSubscriber));
+    }
+    eprintln!(
+        "[replay] {} cell {:?} index {} (n {}, seed {}) — original verdict {:?} ({})",
+        bundle.experiment,
+        bundle.cell,
+        bundle.index,
+        bundle.n,
+        bundle.seed,
+        bundle.verdict,
+        bundle.reason
+    );
+    match msc_sim::replay::replay(&bundle) {
+        Ok(result) => {
+            for (name, value) in &result.record.scores {
+                println!("  {name} = {value}");
+            }
+            println!("  verdict = {}", result.record.verdict);
+            if result.matches {
+                println!("REPRODUCED: replay matches the bundle exactly");
+                0
+            } else {
+                for d in &result.diffs {
+                    eprintln!("  mismatch: {d}");
+                }
+                println!(
+                    "MISMATCH: replay diverged from the bundle ({} diff(s))",
+                    result.diffs.len()
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            2
+        }
     }
 }

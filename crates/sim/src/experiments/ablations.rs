@@ -18,7 +18,7 @@ use crate::report::{f1, pct, Report};
 use msc_core::envelope::FrontEnd;
 use msc_core::overlay::{OverlayParams, TagOverlayModulator};
 use msc_core::resources::{Arithmetic, MatcherCost};
-use msc_core::search::{blind_accuracy, collect_scores};
+use msc_core::search::{blind_accuracy, collect_scores_labeled};
 use msc_core::tag::payload_start_seconds;
 use msc_core::{MatchMode, Matcher, TemplateBank, TemplateConfig};
 use msc_dsp::SampleRate;
@@ -50,9 +50,10 @@ pub fn abl_bits(n: usize, seed: u64) -> Report {
         ("6-bit".into(), MatchMode::MultiBit(6), Arithmetic::MultiBit(6)),
         ("full (9-bit float)".into(), MatchMode::FullPrecision, Arithmetic::FullPrecision),
     ];
-    for (label, mode, arith) in rows {
+    for (ri, (label, mode, arith)) in rows.into_iter().enumerate() {
         let matcher = Matcher::new(bank.clone(), mode);
-        let acc = blind_accuracy(&collect_scores(&matcher, &traces));
+        let acc =
+            blind_accuracy(&collect_scores_labeled(&matcher, &traces, &format!("bits{ri}"), seed));
         let cost = MatcherCost::table2(arith);
         report.row(&[
             label,
@@ -132,7 +133,7 @@ pub fn abl_slope(n: usize, seed: u64) -> Report {
             .into_iter()
             .map(|t| (t.truth, t.acquired, t.jitter))
             .collect();
-        let scores = collect_scores(&matcher, &traces);
+        let scores = collect_scores_labeled(&matcher, &traces, &format!("slope{slope:.2}"), seed);
         let per = msc_core::search::per_protocol_accuracy(
             &msc_core::OrderedRule { steps: vec![] },
             &scores,
@@ -166,7 +167,8 @@ pub fn abl_lag(n: usize, seed: u64) -> Report {
     );
     for lag in [0usize, 2, 5, 10, 40] {
         let matcher = Matcher::new(bank.clone(), MatchMode::Quantized).with_lag_search(lag);
-        let acc = blind_accuracy(&collect_scores(&matcher, &traces));
+        let acc =
+            blind_accuracy(&collect_scores_labeled(&matcher, &traces, &format!("lag{lag}"), seed));
         report.row(&[lag.to_string(), format!("{:.1}", lag as f64 / rate.as_msps()), pct(acc)]);
     }
     report.note("A continuously-running correlator (generous radius) is what hardware implements; a single-point decision is brittle against detection jitter.");

@@ -6,7 +6,7 @@
 
 use crate::idtraces::{front_end, generate_traces_hard};
 use crate::report::{pct, Report};
-use msc_core::search::{blind_accuracy, collect_scores, per_protocol_accuracy};
+use msc_core::search::{blind_accuracy, collect_scores_labeled, per_protocol_accuracy};
 use msc_core::{MatchMode, Matcher, OrderedRule, TemplateBank, TemplateConfig};
 use msc_dsp::SampleRate;
 use msc_phy::protocol::Protocol;
@@ -29,7 +29,7 @@ pub fn run(n: usize, seed: u64) -> Report {
         let cfg = TemplateConfig { adc_rate: rate, l_p, l_m };
         let bank = TemplateBank::build(&fe, cfg);
         let matcher = Matcher::new(bank, MatchMode::FullPrecision);
-        let scores = collect_scores(&matcher, &trace_tuples);
+        let scores = collect_scores_labeled(&matcher, &trace_tuples, &format!("lp{l_p}"), seed);
         let avg = blind_accuracy(&scores);
         let per = per_protocol_accuracy(&OrderedRule { steps: vec![] }, &scores);
         let min = per.iter().cloned().fold(f64::INFINITY, f64::min);

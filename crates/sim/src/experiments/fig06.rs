@@ -3,7 +3,7 @@
 
 use crate::idtraces::{front_end, generate_traces_hard};
 use crate::report::{f3, Report};
-use msc_core::search::{collect_scores, default_grid, search_ordered_rule};
+use msc_core::search::{collect_scores_labeled, default_grid, search_ordered_rule};
 use msc_core::{MatchMode, Matcher, TemplateBank, TemplateConfig};
 use msc_dsp::SampleRate;
 use msc_phy::protocol::Protocol;
@@ -18,7 +18,7 @@ pub fn run(n: usize, seed: u64) -> Report {
         traces.iter().map(|t| (t.truth, t.acquired.clone(), t.jitter)).collect();
     let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
     let matcher = Matcher::new(bank, MatchMode::Quantized);
-    let scores = collect_scores(&matcher, &tuples);
+    let scores = collect_scores_labeled(&matcher, &tuples, "hard", seed);
 
     let mut report = Report::new(
         "fig6 — score separation and searched ordered-matching chain (10 Msps, ±1 quantized)",

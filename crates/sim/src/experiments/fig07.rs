@@ -4,7 +4,8 @@
 use crate::idtraces::{front_end, generate_traces_hard};
 use crate::report::{pct, Report};
 use msc_core::search::{
-    blind_accuracy, collect_scores, default_grid, per_protocol_accuracy, search_ordered_rule,
+    blind_accuracy, collect_scores_labeled, default_grid, per_protocol_accuracy,
+    search_ordered_rule,
 };
 use msc_core::{MatchMode, Matcher, OrderedRule, TemplateBank, TemplateConfig};
 use msc_dsp::SampleRate;
@@ -22,8 +23,20 @@ pub fn run(n: usize, seed: u64) -> Report {
     let to_tuples = |traces: &[crate::idtraces::Trace]| -> Vec<(Protocol, Vec<f64>, isize)> {
         traces.iter().map(|t| (t.truth, t.acquired.clone(), t.jitter)).collect()
     };
-    let train = collect_scores(&matcher, &to_tuples(&generate_traces_hard(&fe, n, seed)));
-    let test = collect_scores(&matcher, &to_tuples(&generate_traces_hard(&fe, n, seed ^ 0x5a5a)));
+    // The flight-recorder seed is the runner's *base* seed in both
+    // batches (replay re-runs this runner, which re-derives ^0x5a5a).
+    let train = collect_scores_labeled(
+        &matcher,
+        &to_tuples(&generate_traces_hard(&fe, n, seed)),
+        "train",
+        seed,
+    );
+    let test = collect_scores_labeled(
+        &matcher,
+        &to_tuples(&generate_traces_hard(&fe, n, seed ^ 0x5a5a)),
+        "test",
+        seed,
+    );
 
     let searched = search_ordered_rule(&train, &default_grid());
     let blind_rule = OrderedRule { steps: vec![] };

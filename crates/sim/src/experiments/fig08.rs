@@ -5,7 +5,9 @@
 
 use crate::idtraces::{front_end, generate_traces_hard};
 use crate::report::{pct, Report};
-use msc_core::search::{collect_scores, default_grid, per_protocol_accuracy, search_ordered_rule};
+use msc_core::search::{
+    collect_scores_labeled, default_grid, per_protocol_accuracy, search_ordered_rule,
+};
 use msc_core::{MatchMode, Matcher, TemplateBank, TemplateConfig};
 use msc_dsp::SampleRate;
 use msc_phy::protocol::Protocol;
@@ -18,10 +20,10 @@ pub fn run(n: usize, seed: u64) -> Report {
         &["rate", "window", "avg acc", "802.11n", "802.11b", "BLE", "ZigBee"],
     );
 
-    for (rate, label, extended) in [
-        (SampleRate::ADC_LOW, "2.5 Msps", false),
-        (SampleRate::ADC_LOW, "2.5 Msps", true),
-        (SampleRate::ADC_FLOOR, "1 Msps", true),
+    for (rate, label, extended, slug) in [
+        (SampleRate::ADC_LOW, "2.5 Msps", false, "2.5-std"),
+        (SampleRate::ADC_LOW, "2.5 Msps", true, "2.5-ext"),
+        (SampleRate::ADC_FLOOR, "1 Msps", true, "1-ext"),
     ] {
         let fe = front_end(rate);
         let cfg =
@@ -34,8 +36,11 @@ pub fn run(n: usize, seed: u64) -> Report {
                 .map(|t| (t.truth, t.acquired, t.jitter))
                 .collect()
         };
-        let train = collect_scores(&matcher, &tuples(seed));
-        let test = collect_scores(&matcher, &tuples(seed ^ 0xa7a7));
+        // Flight records carry the runner's base seed (replay re-derives
+        // the ^0xa7a7 test stream itself).
+        let train = collect_scores_labeled(&matcher, &tuples(seed), &format!("{slug}/train"), seed);
+        let test =
+            collect_scores_labeled(&matcher, &tuples(seed ^ 0xa7a7), &format!("{slug}/test"), seed);
         let searched = search_ordered_rule(&train, &default_grid());
         let per = per_protocol_accuracy(&searched.rule, &test);
         let avg = per.iter().sum::<f64>() / 4.0;

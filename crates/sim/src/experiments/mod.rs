@@ -1,5 +1,6 @@
 //! One runner per table/figure of the paper's evaluation. Each module
-//! exposes `run(n, seed) -> Report`; the `paper` binary dispatches here.
+//! exposes `run(n, seed) -> Report`; the `paper` binary and the
+//! flight-recorder replay path dispatch through [`REGISTRY`].
 
 pub mod ablations;
 pub mod energy_dyn;
@@ -19,3 +20,50 @@ pub mod fig17;
 pub mod fig18;
 pub mod tab1;
 pub mod tables;
+
+/// An experiment runner: `(n, seed) -> Report`. Runners must be pure
+/// functions of their arguments (all randomness derived per-item from
+/// the seed) — that purity is what makes flight-recorder bundles
+/// replayable.
+pub type Runner = fn(usize, u64) -> crate::report::Report;
+
+/// Every experiment: `(id, description, runner)`. The id is the CLI
+/// name, the metrics `experiment` label, and the flight-recorder
+/// dispatch key.
+pub const REGISTRY: &[(&str, &str, Runner)] = &[
+    ("fig4", "rectifier: clamp vs basic, ours vs WISP", fig04::run),
+    ("fig5", "identification accuracy vs (L_p, L_m) at 20 Msps", fig05::run),
+    ("fig6", "ordered-matching chain + score separation", fig06::run),
+    ("fig7", "blind vs ordered matching at 10 Msps quantized", fig07::run),
+    ("fig8", "low-rate identification + 40 µs window extension", fig08::run),
+    ("fig9", "baseline occlusion BER + modulation offsets", fig09::run),
+    ("tab1", "system taxonomy, demonstrated by execution", tab1::run),
+    ("tab2", "FPGA resource comparison", tables::tab2),
+    ("tab3", "prototype power budget", tables::tab3),
+    ("tab4", "tag-data exchange times from harvested energy", tables::tab4),
+    ("tab5", "identification power efficiency", tables::tab5),
+    ("tab6", "overlay modes", tables::tab6),
+    ("fig12", "throughput tradeoffs across modes", fig12::run),
+    ("fig13", "LoS RSSI/BER/throughput vs distance", fig13::run),
+    ("fig14", "NLoS RSSI/BER/throughput vs distance", fig14::run),
+    ("fig15", "occluded original channel: multiscatter vs baselines", fig15::run),
+    ("fig16", "colliding excitations (time & frequency)", fig16::run),
+    ("fig17", "tag BER vs reference-symbol modulation", fig17::run),
+    ("fig18", "excitation diversity", fig18::run),
+    ("fig18-dyn", "uninterrupted backscatter on a packet timeline", fig18::run_dynamic),
+    ("ext-fec", "future work: FEC tag coding vs repetition", extensions::ext_fec),
+    ("ext-filter", "future work: tag band filter vs collisions", extensions::ext_filter),
+    ("ext-wakeup", "future work: wake-up-receiver power gating", extensions::ext_wakeup),
+    ("ext-multitag", "extension: two tags TDM-share one carrier", extensions::ext_multitag),
+    ("abl-bits", "ablation: quantization width vs accuracy/cost", ablations::abl_bits),
+    ("abl-gamma", "ablation: ZigBee tag spreading vs SNR", ablations::abl_gamma),
+    ("abl-slope", "ablation: FM-to-AM front-end slope", ablations::abl_slope),
+    ("abl-lag", "ablation: correlator lag-search radius", ablations::abl_lag),
+    ("abl-cfo", "ablation: CFO tolerance per protocol", ablations::abl_cfo),
+    ("tab4-dyn", "event-driven energy lifecycle (dynamic Table 4)", energy_dyn::run),
+];
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<&'static (&'static str, &'static str, Runner)> {
+    REGISTRY.iter().find(|(eid, _, _)| *eid == id)
+}

@@ -15,6 +15,7 @@ pub mod energy;
 pub mod experiments;
 pub mod idtraces;
 pub mod pipeline;
+pub mod replay;
 pub mod report;
 pub mod throughput;
 pub mod traffic;

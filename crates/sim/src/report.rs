@@ -81,8 +81,10 @@ impl Report {
     }
 
     /// Serializes the report as a JSON object (`--metrics-out` sink):
-    /// `{"title", "header", "rows", "notes"}` with rows as string
-    /// arrays, so any plotting script can consume the table directly.
+    /// `{"schema_version", "title", "header", "rows", "notes"}` with
+    /// rows as string arrays, so any plotting script can consume the
+    /// table directly. The schema version is shared with every other
+    /// JSON artifact the workspace emits (see `msc_obs::SCHEMA_VERSION`).
     pub fn to_json(&self) -> String {
         use msc_obs::export::json_escape;
         let arr = |items: &[String]| {
@@ -92,7 +94,8 @@ impl Report {
         };
         let rows: Vec<String> = self.rows.iter().map(|r| format!("    {}", arr(r))).collect();
         format!(
-            "{{\n  \"title\": \"{}\",\n  \"header\": {},\n  \"notes\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema_version\": {},\n  \"title\": \"{}\",\n  \"header\": {},\n  \"notes\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            msc_obs::SCHEMA_VERSION,
             json_escape(&self.title),
             arr(&self.header),
             arr(&self.notes),
@@ -156,6 +159,10 @@ mod tests {
         r.row(&["1".into(), "two\nlines".into()]);
         r.note("n1");
         let v = msc_obs::export::parse_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("schema_version").unwrap().as_f64().unwrap() as u32,
+            msc_obs::SCHEMA_VERSION
+        );
         assert_eq!(v.get("title").unwrap().as_str().unwrap(), "t \"x\"");
         let rows = v.get("rows").unwrap().as_arr().unwrap();
         assert_eq!(rows.len(), 1);

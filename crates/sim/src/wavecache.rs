@@ -27,7 +27,7 @@ use msc_phy::protocol::Protocol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Everything that determines a synthesized overlay carrier.
@@ -46,6 +46,36 @@ fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<IqBuf>>> {
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
+
+// Always-on counters (independent of the metrics registry) so
+// `paper --profile` can surface cache effectiveness without
+// `--metrics-out`, mirroring `msc_dsp::plan::stats`.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYPASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Waveform-cache effectiveness counters (process lifetime).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Prepares served from the cache.
+    pub hits: u64,
+    /// Prepares that synthesized and inserted.
+    pub misses: u64,
+    /// Prepares that synthesized with the cache disabled.
+    pub bypasses: u64,
+    /// Waveforms currently cached.
+    pub len: u64,
+}
+
+/// Reads the cache counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bypasses: BYPASSES.load(Ordering::Relaxed),
+        len: waveform_cache_len() as u64,
+    }
+}
 
 /// Enables or disables the global waveform cache (`paper
 /// --no-wave-cache`). Disabling also drops every cached waveform, so a
@@ -112,10 +142,12 @@ impl CellExcitation {
             let hit = cache().lock().unwrap().get(&key).cloned();
             match hit {
                 Some(c) => {
+                    HITS.fetch_add(1, Ordering::Relaxed);
                     metrics::counter_add("wavecache.hit", label, "", 1);
                     c
                 }
                 None => {
+                    MISSES.fetch_add(1, Ordering::Relaxed);
                     metrics::counter_add("wavecache.miss", label, "", 1);
                     // Synthesize outside the lock; a racing duplicate
                     // insert is idempotent (synthesis is pure).
@@ -127,6 +159,7 @@ impl CellExcitation {
                 }
             }
         } else {
+            BYPASSES.fetch_add(1, Ordering::Relaxed);
             metrics::counter_add("wavecache.bypass", label, "", 1);
             Arc::new(metrics::time_stage(label, "carrier", || link.carrier_for(&productive)))
         };
