@@ -1,0 +1,407 @@
+//! The noise-aware regression engine behind `paper diff`: joins the
+//! cells of two report artifacts and classifies every movement as
+//! NOISE / SIGNIFICANT / NEW / GONE using the interval-overlap test
+//! from [`crate::stats`].
+//!
+//! Inputs are the schema-v3 report JSONs the harness writes under
+//! `--metrics-out reports/` (and archives): each row may carry a join
+//! key and a list of named `(num, den, clusters)` statistics. The diff
+//! joins rows by key, then each statistic by name, and compares the
+//! 99%-level Wilson intervals — two *disjoint* intervals mean the
+//! movement cannot plausibly be seed noise, anything overlapping is
+//! NOISE. Rows or stats present on one side only classify as NEW/GONE.
+//!
+//! The engine is pure (JSON in, classified table out); process concerns
+//! — resolving paths, exit codes, the `--baseline` archive lookup —
+//! live in the `paper` binary.
+
+use crate::export::{parse_json, Json};
+use crate::stats::{classify, DiffClass, Proportion, Z99};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One named statistic of one report row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellStat {
+    /// Statistic name (`per`, `tag_ber`, `acc`, …).
+    pub name: String,
+    /// The raw-count estimate.
+    pub p: Proportion,
+}
+
+/// The joinable content of one report: title plus, per row key, the
+/// row's statistics. Rows without statistics are invisible to the diff
+/// (there is nothing principled to compare).
+#[derive(Clone, Debug, Default)]
+pub struct ReportCells {
+    /// Report title.
+    pub title: String,
+    /// Row key → that row's statistics, in row order.
+    pub rows: Vec<(String, Vec<CellStat>)>,
+}
+
+/// Parses a schema-v3 report JSON into its joinable cells. Reports from
+/// older schema versions parse to an empty cell set (nothing to join)
+/// rather than erroring — a diff against a pre-stats artifact reports
+/// everything as NEW, which is the honest answer.
+pub fn parse_report_cells(json: &str) -> Result<ReportCells, String> {
+    let v = parse_json(json)?;
+    let title = v.get("title").and_then(Json::as_str).unwrap_or("").to_string();
+    let mut out = ReportCells { title, rows: Vec::new() };
+    let (Some(keys), Some(stats)) =
+        (v.get("keys").and_then(Json::as_arr), v.get("stats").and_then(Json::as_arr))
+    else {
+        return Ok(out);
+    };
+    for (i, row_stats) in stats.iter().enumerate() {
+        let Some(row_stats) = row_stats.as_arr() else { continue };
+        if row_stats.is_empty() {
+            continue;
+        }
+        let key = keys
+            .get(i)
+            .and_then(Json::as_str)
+            .filter(|k| !k.is_empty())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{i}"));
+        let mut cells = Vec::new();
+        for s in row_stats {
+            let (Some(name), Some(num), Some(den)) = (
+                s.get("name").and_then(Json::as_str),
+                s.get("num").and_then(Json::as_f64),
+                s.get("den").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let clusters = s.get("clusters").and_then(Json::as_f64).unwrap_or(den);
+            let p = Proportion::clustered(num as u64, den as u64, clusters as u64);
+            cells.push(CellStat { name: name.to_string(), p });
+        }
+        out.rows.push((key, cells));
+    }
+    Ok(out)
+}
+
+/// One classified statistic movement.
+#[derive(Clone, Debug)]
+pub struct StatDiff {
+    /// Row join key.
+    pub row: String,
+    /// Statistic name.
+    pub stat: String,
+    /// The older run's estimate (`None` for NEW).
+    pub a: Option<Proportion>,
+    /// The newer run's estimate (`None` for GONE).
+    pub b: Option<Proportion>,
+    /// The verdict.
+    pub class: DiffClass,
+}
+
+/// Counts per verdict across one or more diffs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiffSummary {
+    /// Movements within sampling noise.
+    pub noise: usize,
+    /// Movements beyond sampling noise.
+    pub significant: usize,
+    /// Statistics only the newer run has.
+    pub new: usize,
+    /// Statistics only the older run has.
+    pub gone: usize,
+}
+
+impl DiffSummary {
+    /// Folds one classified stat in.
+    pub fn add(&mut self, class: DiffClass) {
+        match class {
+            DiffClass::Noise => self.noise += 1,
+            DiffClass::Significant => self.significant += 1,
+            DiffClass::New => self.new += 1,
+            DiffClass::Gone => self.gone += 1,
+        }
+    }
+
+    /// Merges another summary in.
+    pub fn merge(&mut self, other: &DiffSummary) {
+        self.noise += other.noise;
+        self.significant += other.significant;
+        self.new += other.new;
+        self.gone += other.gone;
+    }
+
+    /// One-line rendering (`62 NOISE, 1 SIGNIFICANT, 0 NEW, 0 GONE`).
+    pub fn line(&self) -> String {
+        format!(
+            "{} NOISE, {} SIGNIFICANT, {} NEW, {} GONE",
+            self.noise, self.significant, self.new, self.gone
+        )
+    }
+}
+
+/// Diffs two parsed reports (`a` older, `b` newer) at critical value
+/// `z` (use [`Z99`] unless you have a reason not to). Rows join by
+/// key, stats by name; output order follows `b` with GONE rows of `a`
+/// appended in `a`'s order.
+pub fn diff_cells(a: &ReportCells, b: &ReportCells, z: f64) -> Vec<StatDiff> {
+    let a_map: BTreeMap<&str, &Vec<CellStat>> =
+        a.rows.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    let b_keys: std::collections::BTreeSet<&str> = b.rows.iter().map(|(k, _)| k.as_str()).collect();
+    let mut out = Vec::new();
+    for (key, b_stats) in &b.rows {
+        let a_stats = a_map.get(key.as_str());
+        for bs in b_stats {
+            let a_stat = a_stats.and_then(|ss| ss.iter().find(|s| s.name == bs.name));
+            match a_stat {
+                Some(as_) => out.push(StatDiff {
+                    row: key.clone(),
+                    stat: bs.name.clone(),
+                    a: Some(as_.p),
+                    b: Some(bs.p),
+                    class: classify(&as_.p, &bs.p, z),
+                }),
+                None => out.push(StatDiff {
+                    row: key.clone(),
+                    stat: bs.name.clone(),
+                    a: None,
+                    b: Some(bs.p),
+                    class: DiffClass::New,
+                }),
+            }
+        }
+        // Stats of this row that vanished.
+        if let Some(a_stats) = a_stats {
+            for as_ in *a_stats {
+                if !b_stats.iter().any(|s| s.name == as_.name) {
+                    out.push(StatDiff {
+                        row: key.clone(),
+                        stat: as_.name.clone(),
+                        a: Some(as_.p),
+                        b: None,
+                        class: DiffClass::Gone,
+                    });
+                }
+            }
+        }
+    }
+    // Whole rows that vanished.
+    for (key, a_stats) in &a.rows {
+        if !b_keys.contains(key.as_str()) {
+            for as_ in a_stats {
+                out.push(StatDiff {
+                    row: key.clone(),
+                    stat: as_.name.clone(),
+                    a: Some(as_.p),
+                    b: None,
+                    class: DiffClass::Gone,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders one report's classified diff as an aligned table. With
+/// `only_moved`, NOISE lines are summarized rather than listed — the
+/// default for multi-report diffs where the interesting lines are the
+/// exceptions.
+pub fn render_diff(
+    id: &str,
+    diffs: &[StatDiff],
+    summary: &DiffSummary,
+    only_moved: bool,
+) -> String {
+    let fmt_p = |p: &Option<Proportion>| match p {
+        Some(p) => format!("{}/{} ({:.3})", p.num, p.den, p.p_hat()),
+        None => "-".to_string(),
+    };
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    for d in diffs {
+        if only_moved && d.class == DiffClass::Noise {
+            continue;
+        }
+        let delta = match (&d.a, &d.b) {
+            (Some(a), Some(b)) => format!("{:+.3}", b.p_hat() - a.p_hat()),
+            _ => "-".to_string(),
+        };
+        rows.push([
+            format!("{}:{}", d.row, d.stat),
+            fmt_p(&d.a),
+            fmt_p(&d.b),
+            delta,
+            d.class.label().to_string(),
+        ]);
+    }
+    let header = ["cell", "A", "B", "Δ", "class"];
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for r in &rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== diff {id} ==");
+    let line = |out: &mut String, cells: &[&str]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(c.chars().count());
+            s.push_str(c);
+            s.extend(std::iter::repeat_n(' ', pad));
+        }
+        let _ = writeln!(out, "{}", s.trim_end());
+    };
+    if rows.is_empty() {
+        let _ = writeln!(out, "  (no cell moved beyond noise)");
+    } else {
+        line(&mut out, &header);
+        for r in &rows {
+            line(&mut out, &r.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+    }
+    let _ = writeln!(out, "  summary: {}", summary.line());
+    out
+}
+
+/// Summarizes a classified diff.
+pub fn summarize(diffs: &[StatDiff]) -> DiffSummary {
+    let mut s = DiffSummary::default();
+    for d in diffs {
+        s.add(d.class);
+    }
+    s
+}
+
+/// Diffs two report JSON strings end to end at the default gate
+/// ([`Z99`]).
+pub fn diff_report_json(a: &str, b: &str) -> Result<(Vec<StatDiff>, DiffSummary), String> {
+    let ac = parse_report_cells(a)?;
+    let bc = parse_report_cells(b)?;
+    let diffs = diff_cells(&ac, &bc, Z99);
+    let summary = summarize(&diffs);
+    Ok((diffs, summary))
+}
+
+/// Resolves a diff operand into `(experiment id → report JSON)`:
+/// a single report file, a `--metrics-out` directory (its `reports/`
+/// subdirectory), or a directory of report JSON files.
+pub fn collect_reports(path: &Path) -> Result<BTreeMap<String, String>, String> {
+    let read = |p: &Path| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()));
+    let mut out = BTreeMap::new();
+    if path.is_file() {
+        let id = path.file_stem().and_then(|s| s.to_str()).unwrap_or("report").to_string();
+        out.insert(id, read(path)?);
+        return Ok(out);
+    }
+    let dir = if path.join("reports").is_dir() { path.join("reports") } else { path.to_path_buf() };
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.extension().and_then(|e| e.to_str()) == Some("json") {
+            if let (Some(id), Ok(body)) = (p.file_stem().and_then(|s| s.to_str()), read(&p)) {
+                out.insert(id.to_string(), body);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{}: no report JSON files found", path.display()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::type_complexity)]
+    fn report_json(rows: &[(&str, &[(&str, u64, u64)])]) -> String {
+        // Hand-built schema-v3 report with two display columns.
+        let keys: Vec<String> = rows.iter().map(|(k, _)| format!("\"{k}\"")).collect();
+        let cells: Vec<String> = rows.iter().map(|_| "[\"x\", \"y\"]".to_string()).collect();
+        let stats: Vec<String> = rows
+            .iter()
+            .map(|(_, ss)| {
+                let items: Vec<String> = ss
+                    .iter()
+                    .map(|(n, num, den)| {
+                        format!(
+                            "{{\"name\": \"{n}\", \"num\": {num}, \"den\": {den}, \"clusters\": {den}}}"
+                        )
+                    })
+                    .collect();
+                format!("[{}]", items.join(", "))
+            })
+            .collect();
+        format!(
+            "{{\"schema_version\": 3, \"title\": \"t\", \"header\": [\"a\", \"b\"], \"notes\": [], \"rows\": [{}], \"keys\": [{}], \"stats\": [{}]}}",
+            cells.join(", "),
+            keys.join(", "),
+            stats.join(", ")
+        )
+    }
+
+    #[test]
+    fn seedlike_wobble_is_noise_and_cliff_flip_is_significant() {
+        let a = report_json(&[
+            ("los/ble/2", &[("per", 0, 12), ("ber", 3, 480)]),
+            ("los/ble/20", &[("per", 2, 12)]),
+        ]);
+        let b = report_json(&[
+            ("los/ble/2", &[("per", 1, 12), ("ber", 6, 480)]),
+            ("los/ble/20", &[("per", 12, 12)]),
+        ]);
+        let (diffs, summary) = diff_report_json(&a, &b).unwrap();
+        assert_eq!(summary, DiffSummary { noise: 2, significant: 1, new: 0, gone: 0 });
+        let sig: Vec<_> = diffs.iter().filter(|d| d.class == DiffClass::Significant).collect();
+        assert_eq!(sig.len(), 1);
+        assert_eq!(sig[0].row, "los/ble/20");
+        let rendered = render_diff("fig13", &diffs, &summary, true);
+        assert!(rendered.contains("SIGNIFICANT"));
+        assert!(rendered.contains("los/ble/20:per"));
+        assert!(!rendered.contains("los/ble/2:ber"), "noise rows hidden when only_moved");
+        assert!(rendered.contains("2 NOISE, 1 SIGNIFICANT"));
+    }
+
+    #[test]
+    fn new_and_gone_rows_and_stats_classify() {
+        let a =
+            report_json(&[("k1", &[("per", 0, 12), ("old", 1, 12)]), ("dead", &[("per", 0, 12)])]);
+        let b = report_json(&[
+            ("k1", &[("per", 0, 12), ("fresh", 1, 12)]),
+            ("born", &[("per", 0, 12)]),
+        ]);
+        let (_, summary) = diff_report_json(&a, &b).unwrap();
+        assert_eq!(summary, DiffSummary { noise: 1, significant: 0, new: 2, gone: 2 });
+    }
+
+    #[test]
+    fn legacy_reports_parse_to_empty_cells() {
+        let legacy = "{\"schema_version\": 2, \"title\": \"t\", \"header\": [], \"notes\": [], \"rows\": []}";
+        let cells = parse_report_cells(legacy).unwrap();
+        assert!(cells.rows.is_empty());
+        let (diffs, summary) = diff_report_json(legacy, legacy).unwrap();
+        assert!(diffs.is_empty());
+        assert_eq!(summary, DiffSummary::default());
+    }
+
+    #[test]
+    fn collect_reports_resolves_files_and_dirs() {
+        let dir = std::env::temp_dir().join(format!("msc_diff_collect_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("reports")).unwrap();
+        std::fs::write(dir.join("reports/fig13.json"), report_json(&[])).unwrap();
+        std::fs::write(dir.join("reports/fig5.json"), report_json(&[])).unwrap();
+        std::fs::write(dir.join("manifest.json"), "{}").unwrap();
+        // A --metrics-out dir resolves to its reports/ subdir.
+        let map = collect_reports(&dir).unwrap();
+        assert_eq!(map.keys().cloned().collect::<Vec<_>>(), vec!["fig13", "fig5"]);
+        // A single file resolves to one entry named after its stem.
+        let one = collect_reports(&dir.join("reports/fig13.json")).unwrap();
+        assert_eq!(one.len(), 1);
+        assert!(one.contains_key("fig13"));
+        assert!(collect_reports(&dir.join("missing")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

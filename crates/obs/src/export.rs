@@ -66,12 +66,15 @@ pub fn record_to_json(rec: &Record) -> String {
             record_labels(rec, &mut out);
             let _ = write!(
                 out,
-                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}",
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
                 h.count,
                 json_num(h.sum),
                 json_num(h.min),
                 json_num(h.max),
-                json_num(h.mean())
+                json_num(h.mean()),
+                json_num(h.quantile(0.50)),
+                json_num(h.quantile(0.90)),
+                json_num(h.quantile(0.99))
             );
             out.push_str(",\"edges\":[");
             for (i, e) in h.edges.iter().enumerate() {
@@ -147,6 +150,9 @@ pub fn to_csv(records: &[Record]) -> String {
                 row(rec.key.name, "histogram", rec, "min", format!("{}", h.min));
                 row(rec.key.name, "histogram", rec, "max", format!("{}", h.max));
                 row(rec.key.name, "histogram", rec, "mean", format!("{}", h.mean()));
+                row(rec.key.name, "histogram", rec, "p50", format!("{}", h.quantile(0.50)));
+                row(rec.key.name, "histogram", rec, "p90", format!("{}", h.quantile(0.90)));
+                row(rec.key.name, "histogram", rec, "p99", format!("{}", h.quantile(0.99)));
                 for (i, c) in h.counts.iter().enumerate() {
                     let field = if i < h.edges.len() {
                         format!("le_{}", h.edges[i])
@@ -418,6 +424,9 @@ mod tests {
                 crate::metrics::Value::Histogram(h) => {
                     assert_eq!(v.get("count").unwrap().as_f64().unwrap() as u64, h.count);
                     assert_eq!(v.get("sum").unwrap().as_f64().unwrap(), h.sum);
+                    assert_eq!(v.get("p50").unwrap().as_f64().unwrap(), h.quantile(0.5));
+                    assert_eq!(v.get("p90").unwrap().as_f64().unwrap(), h.quantile(0.9));
+                    assert_eq!(v.get("p99").unwrap().as_f64().unwrap(), h.quantile(0.99));
                     let counts = v.get("counts").unwrap().as_arr().unwrap();
                     assert_eq!(counts.len(), h.counts.len());
                     let total: f64 = counts.iter().map(|c| c.as_f64().unwrap()).sum();
@@ -437,6 +446,8 @@ mod tests {
         assert_eq!(lines.next().unwrap(), "name,type,experiment,protocol,stage,field,value");
         assert!(csv.contains("rx.decoded,counter,fig13,802.11b,decode,value,42"));
         assert!(csv.contains("id.score,histogram,fig13,802.11b,decode,count,4"));
+        assert!(csv.contains("id.score,histogram,fig13,802.11b,decode,p50,"));
+        assert!(csv.contains("id.score,histogram,fig13,802.11b,decode,p99,"));
         assert!(csv.contains("le_inf"));
     }
 

@@ -23,6 +23,15 @@
 //!   context that dumps replayable failure bundles (`paper replay`).
 //! * **Live progress** ([`progress`]) and **pool utilization**
 //!   ([`pool`]): run-level counters and the stderr ticker.
+//! * **Estimator statistics** ([`stats`]): Wilson-score confidence
+//!   intervals, clustered-sample corrections, and the interval-overlap
+//!   significance test behind `--ci` columns and regression gating.
+//! * **Run archive** ([`archive`]): content-addressed storage of report
+//!   tables keyed by (experiment, seed, git rev, config hash), with an
+//!   index and pruning.
+//! * **Diff engine** ([`diff`]): joins cells across two archived runs
+//!   and classifies each movement NOISE / SIGNIFICANT / NEW / GONE
+//!   (`paper diff`).
 //!
 //! ## Naming scheme
 //!
@@ -35,6 +44,8 @@
 
 #![warn(missing_docs)]
 
+pub mod archive;
+pub mod diff;
 pub mod export;
 pub mod flight;
 pub mod manifest;
@@ -42,6 +53,7 @@ pub mod metrics;
 pub mod pool;
 pub mod profile;
 pub mod progress;
+pub mod stats;
 pub mod trace;
 
 pub use manifest::RunManifest;
@@ -52,7 +64,11 @@ pub use trace::{SpanGuard, Subscriber};
 /// exports, manifests, profiles, flight bundles). Bump whenever any
 /// exported schema changes shape; `crates/obs/tests/schema_golden.rs`
 /// pins the current shapes to this number.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: report tables carry per-row join keys and raw-count statistics
+/// (`keys` / `stats` arrays); histogram exports carry p50/p90/p99
+/// quantile summaries.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Emits a structured trace event when a subscriber is installed.
 ///

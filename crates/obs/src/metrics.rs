@@ -123,6 +123,34 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), linearly interpolated
+    /// within the containing bucket and clamped to the observed
+    /// `[min, max]`. The first bucket interpolates from `min`, the
+    /// overflow bucket toward `max` — so the estimate never invents
+    /// values outside what was actually observed. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if rank <= next as f64 {
+                let lo = if slot == 0 { self.min } else { self.edges[slot - 1].max(self.min) };
+                let hi =
+                    if slot < self.edges.len() { self.edges[slot].min(self.max) } else { self.max };
+                let frac = (rank - cum as f64) / c as f64;
+                return (lo + (hi - lo).max(0.0) * frac).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
 }
 
 /// One exported metric record.
@@ -407,6 +435,33 @@ mod tests {
         assert_eq!(h.min, 0.5);
         assert_eq!(h.max, 100.0);
         assert!((h.mean() - (0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0 + 100.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        static EDGES: &[f64] = &[10.0, 20.0, 50.0];
+        // 100 observations spread 60/30/10 across the first three buckets.
+        for i in 0..60 {
+            r.hist_observe(k("q"), 1.0 + (i as f64) * 0.15, EDGES); // [1, ~9.85]
+        }
+        for i in 0..30 {
+            r.hist_observe(k("q"), 11.0 + (i as f64) * 0.3, EDGES); // [11, ~19.7]
+        }
+        for i in 0..10 {
+            r.hist_observe(k("q"), 21.0 + (i as f64) * 2.0, EDGES); // [21, 39]
+        }
+        let snap = r.snapshot();
+        let Value::Histogram(h) = &snap[0].value else { panic!() };
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!((1.0..=10.0).contains(&p50), "p50 in first bucket: {p50}");
+        assert!((10.0..=20.0).contains(&p90), "p90 in second bucket: {p90}");
+        assert!((20.0..=39.0).contains(&p99), "p99 in third bucket: {p99}");
+        assert!(p50 < p90 && p90 < p99, "quantiles ordered: {p50} {p90} {p99}");
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), h.max);
     }
 
     #[test]

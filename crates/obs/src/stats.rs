@@ -1,0 +1,267 @@
+//! Estimator statistics for Monte-Carlo cells: Wilson-score confidence
+//! intervals on proportions, interval-overlap significance tests, and
+//! the converged/undecided verdict the `--ci` table column and
+//! `paper diff` build on.
+//!
+//! Every experiment cell the harness reports is a proportion estimate —
+//! errors/trials, hits/trials, lost/sent — and a point estimate alone
+//! cannot distinguish "this cell moved because the code changed" from
+//! "this cell moved because the seed changed". The [`Proportion`] type
+//! carries the raw numerator/denominator through to the report layer so
+//! the interval can be recomputed at any confidence level downstream.
+//!
+//! ## Clustered observations
+//!
+//! Bit-error counts are not independent draws: all bits of one packet
+//! share that packet's fading realization, so the effective number of
+//! independent observations is the number of *packets*, not bits. A
+//! [`Proportion`] therefore carries a `clusters` count (defaulting to
+//! the denominator); the Wilson interval is computed with `clusters` as
+//! the sample size while the point estimate stays `num/den`. This makes
+//! the intervals conservative for clustered data instead of wildly
+//! overconfident — the difference between a diff engine that flags real
+//! regressions and one that cries wolf on every reseeded run.
+
+/// Two-sided z for a 95% confidence interval.
+pub const Z95: f64 = 1.959964;
+/// Two-sided z for a 99% confidence interval (the `paper diff`
+/// significance gate: two *disjoint* 99% intervals are a far stronger
+/// condition than a single 1%-level test, which keeps the per-suite
+/// false-positive rate low across hundreds of cells).
+pub const Z99: f64 = 2.575829;
+
+/// Default absolute half-width (at 95%) below which a cell's estimate
+/// counts as converged.
+pub const CONVERGED_HALF_WIDTH: f64 = 0.05;
+
+/// A closed interval `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval, ordering the bounds.
+    pub fn new(a: f64, b: f64) -> Self {
+        Interval { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// True when the two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Half the interval's width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// The interval scaled by a positive factor (bench-ratio
+    /// normalization).
+    pub fn scaled(&self, factor: f64) -> Interval {
+        Interval::new(self.lo * factor, self.hi * factor)
+    }
+}
+
+/// A proportion estimate carrying its raw counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Proportion {
+    /// Successes / errors / hits — the numerator.
+    pub num: u64,
+    /// Total observations — the denominator.
+    pub den: u64,
+    /// Number of independent clusters the observations came from
+    /// (packets for bit-level counts). Equals `den` for genuinely
+    /// independent draws; the Wilson interval uses this as its sample
+    /// size.
+    pub clusters: u64,
+}
+
+impl Proportion {
+    /// An estimate from independent observations.
+    pub fn new(num: u64, den: u64) -> Self {
+        Proportion { num, den, clusters: den }
+    }
+
+    /// An estimate whose observations arrived in `clusters` independent
+    /// groups (e.g. bit errors grouped by packet).
+    pub fn clustered(num: u64, den: u64, clusters: u64) -> Self {
+        Proportion { num, den, clusters }
+    }
+
+    /// The point estimate `num/den` (0 when the denominator is 0).
+    pub fn p_hat(&self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    /// The effective sample size the interval is computed with.
+    fn n_eff(&self) -> f64 {
+        // Clustered counts cap the information at the cluster count;
+        // an inconsistent clusters > den (caller bug) is clamped.
+        self.clusters.min(self.den).max(1) as f64
+    }
+
+    /// Normal-approximation standard error of the point estimate at the
+    /// effective sample size (0 when the denominator is 0).
+    pub fn std_err(&self) -> f64 {
+        if self.den == 0 {
+            return 0.0;
+        }
+        let p = self.p_hat();
+        (p * (1.0 - p) / self.n_eff()).sqrt()
+    }
+
+    /// The Wilson score interval at critical value `z`, clamped to
+    /// `[0, 1]`. An empty estimate (`den == 0`) returns the vacuous
+    /// `[0, 1]`: no data constrains nothing.
+    pub fn wilson(&self, z: f64) -> Interval {
+        if self.den == 0 {
+            return Interval { lo: 0.0, hi: 1.0 };
+        }
+        let n = self.n_eff();
+        let p = self.p_hat();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        Interval { lo: (center - half).max(0.0), hi: (center + half).min(1.0) }
+    }
+
+    /// True when the 95% interval's half-width is at or below
+    /// `max_half_width` — the cell's verdict is decided to that
+    /// precision; more trials would only polish it.
+    pub fn converged(&self, max_half_width: f64) -> bool {
+        self.den > 0 && self.wilson(Z95).half_width() <= max_half_width
+    }
+}
+
+/// How a cell statistic moved between two runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffClass {
+    /// The movement is within joint sampling noise (the `z`-level
+    /// Wilson intervals overlap).
+    Noise,
+    /// The movement exceeds sampling noise (disjoint intervals).
+    Significant,
+    /// The statistic exists only in the newer run.
+    New,
+    /// The statistic exists only in the older run.
+    Gone,
+}
+
+impl DiffClass {
+    /// Display label (fixed-width friendly).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiffClass::Noise => "NOISE",
+            DiffClass::Significant => "SIGNIFICANT",
+            DiffClass::New => "NEW",
+            DiffClass::Gone => "GONE",
+        }
+    }
+}
+
+/// Classifies the movement between two proportion estimates by
+/// interval overlap at critical value `z`: overlapping intervals are
+/// [`DiffClass::Noise`], disjoint ones [`DiffClass::Significant`].
+///
+/// Disjointness of two individual `z`-level intervals is a much
+/// stronger condition than a single two-proportion test at that level,
+/// which is exactly what a regression gate wants: a SIGNIFICANT verdict
+/// should survive scrutiny, while anything arguable stays NOISE.
+pub fn classify(a: &Proportion, b: &Proportion, z: f64) -> DiffClass {
+    if a.wilson(z).overlaps(&b.wilson(z)) {
+        DiffClass::Noise
+    } else {
+        DiffClass::Significant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_matches_hand_computed_values() {
+        // 3/10 at 95%: the canonical worked example — Wilson gives
+        // approximately [0.108, 0.603].
+        let p = Proportion::new(3, 10);
+        let ci = p.wilson(Z95);
+        assert!((ci.lo - 0.1078).abs() < 1e-3, "lo {}", ci.lo);
+        assert!((ci.hi - 0.6032).abs() < 1e-3, "hi {}", ci.hi);
+        assert!((p.p_hat() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_full_counts_stay_in_unit_interval() {
+        let zero = Proportion::new(0, 12).wilson(Z95);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.5, "hi {}", zero.hi);
+        let full = Proportion::new(12, 12).wilson(Z95);
+        assert_eq!(full.hi, 1.0);
+        assert!(full.lo > 0.5, "lo {}", full.lo);
+    }
+
+    #[test]
+    fn empty_estimate_is_vacuous_and_unconverged() {
+        let e = Proportion::new(0, 0);
+        assert_eq!(e.wilson(Z95), Interval { lo: 0.0, hi: 1.0 });
+        assert_eq!(e.p_hat(), 0.0);
+        assert_eq!(e.std_err(), 0.0);
+        assert!(!e.converged(0.5));
+    }
+
+    #[test]
+    fn clustering_widens_the_interval() {
+        // 50/1000 bits from 10 packets: the interval must be computed
+        // at n=10, far wider than the iid-bits n=1000 interval.
+        let iid = Proportion::new(50, 1000);
+        let clustered = Proportion::clustered(50, 1000, 10);
+        assert_eq!(iid.p_hat(), clustered.p_hat());
+        assert!(clustered.wilson(Z95).half_width() > 3.0 * iid.wilson(Z95).half_width());
+        assert!(clustered.std_err() > 3.0 * iid.std_err());
+    }
+
+    #[test]
+    fn interval_overlap_and_classification() {
+        let a = Interval::new(0.1, 0.3);
+        assert!(a.overlaps(&Interval::new(0.3, 0.5)));
+        assert!(!a.overlaps(&Interval::new(0.31, 0.5)));
+        assert!(a.overlaps(&Interval::new(0.0, 1.0)));
+        // Same counts: trivially noise.
+        let p = Proportion::new(2, 12);
+        assert_eq!(classify(&p, &p, Z99), DiffClass::Noise);
+        // 0/12 vs 12/12: unambiguously significant.
+        assert_eq!(
+            classify(&Proportion::new(0, 12), &Proportion::new(12, 12), Z99),
+            DiffClass::Significant
+        );
+        // 2/12 vs 5/12: a seed-sized wobble, noise at 99%.
+        assert_eq!(
+            classify(&Proportion::new(2, 12), &Proportion::new(5, 12), Z99),
+            DiffClass::Noise
+        );
+    }
+
+    #[test]
+    fn convergence_tracks_sample_size() {
+        assert!(!Proportion::new(1, 10).converged(CONVERGED_HALF_WIDTH));
+        assert!(Proportion::new(50, 1000).converged(CONVERGED_HALF_WIDTH));
+        // Clustering blocks convergence even with many observations.
+        assert!(!Proportion::clustered(50, 1000, 8).converged(CONVERGED_HALF_WIDTH));
+    }
+
+    #[test]
+    fn scaled_interval_normalizes_ratios() {
+        let i = Interval::new(10.0, 20.0).scaled(0.5);
+        assert_eq!(i, Interval { lo: 5.0, hi: 10.0 });
+        assert_eq!(i.half_width(), 2.5);
+    }
+}

@@ -1,0 +1,75 @@
+//! The archive key's determinism contract: the content address of a run
+//! is a pure function of (experiment, seed, git rev, result-affecting
+//! knobs) — and of nothing else. In particular the worker-pool size
+//! must never reach the key: reports are byte-identical at any thread
+//! count, so runs differing only in `--threads` are the same result and
+//! must collide in the archive.
+
+use msc_obs::archive::{config_hash, RunKey};
+
+/// The exact config parts the `paper` harness feeds the hash.
+fn harness_config(n: usize, full: bool, perturb_db: f64) -> Vec<(&'static str, String)> {
+    vec![
+        ("n", n.to_string()),
+        ("full", full.to_string()),
+        ("perturb_margin_db", format!("{perturb_db}")),
+    ]
+}
+
+#[test]
+fn key_is_thread_count_independent() {
+    // Simulate three runs of the same experiment at 1/4/8 worker
+    // threads: the config parts contain no thread knob, so the keys are
+    // identical and the archive stores exactly one run.
+    let keys: Vec<RunKey> = [1usize, 4, 8]
+        .iter()
+        .map(|_threads| RunKey::new("fig13", 42, "deadbeef", &harness_config(12, false, 0.0)))
+        .collect();
+    assert_eq!(keys[0], keys[1]);
+    assert_eq!(keys[0], keys[2]);
+    assert_eq!(keys[0].file_stem(), keys[2].file_stem());
+}
+
+#[test]
+fn every_result_affecting_knob_changes_the_key() {
+    let base = RunKey::new("fig13", 42, "deadbeef", &harness_config(12, false, 0.0));
+    let other_seed = RunKey::new("fig13", 43, "deadbeef", &harness_config(12, false, 0.0));
+    let other_rev = RunKey::new("fig13", 42, "cafecafe", &harness_config(12, false, 0.0));
+    let other_n = RunKey::new("fig13", 42, "deadbeef", &harness_config(60, false, 0.0));
+    let other_full = RunKey::new("fig13", 42, "deadbeef", &harness_config(12, true, 0.0));
+    let perturbed = RunKey::new("fig13", 42, "deadbeef", &harness_config(12, false, 6.0));
+    let other_exp = RunKey::new("fig14", 42, "deadbeef", &harness_config(12, false, 0.0));
+
+    for (what, key) in [
+        ("seed", &other_seed),
+        ("git_rev", &other_rev),
+        ("n", &other_n),
+        ("full", &other_full),
+        ("perturb_margin_db", &perturbed),
+        ("experiment", &other_exp),
+    ] {
+        assert_ne!(&base, key, "changing {what} must change the key");
+        assert_ne!(base.file_stem(), key.file_stem(), "changing {what} must change the stem");
+    }
+    // Sweep knobs alter the config hash specifically (not just the key
+    // tuple) for n / full / perturb changes.
+    assert_ne!(base.config_hash, other_n.config_hash);
+    assert_ne!(base.config_hash, other_full.config_hash);
+    assert_ne!(base.config_hash, perturbed.config_hash);
+    // Seed and rev live outside the config hash.
+    assert_eq!(base.config_hash, other_seed.config_hash);
+    assert_eq!(base.config_hash, other_rev.config_hash);
+}
+
+#[test]
+fn config_hash_is_order_insensitive_but_value_sensitive() {
+    let a = config_hash(&[("n", "12".into()), ("full", "false".into())]);
+    let b = config_hash(&[("full", "false".into()), ("n", "12".into())]);
+    assert_eq!(a, b, "part order must not matter");
+    let c = config_hash(&[("n", "13".into()), ("full", "false".into())]);
+    assert_ne!(a, c, "values must matter");
+    // Key/value boundaries are unambiguous: ("ab", "c") != ("a", "bc").
+    let d = config_hash(&[("ab", "c".into())]);
+    let e = config_hash(&[("a", "bc".into())]);
+    assert_ne!(d, e);
+}

@@ -8,7 +8,11 @@
 //! cargo run -p msc-sim --release --bin paper -- all --metrics-out out/
 //! cargo run -p msc-sim --release --bin paper -- all --profile
 //! cargo run -p msc-sim --release --bin paper -- fig13 --trace
+//! cargo run -p msc-sim --release --bin paper -- fig13 --ci       # ±95% column
+//! cargo run -p msc-sim --release --bin paper -- list
 //! cargo run -p msc-sim --release --bin paper -- replay out/flight/bundle_0_decode_fail.json
+//! cargo run -p msc-sim --release --bin paper -- diff outA/ outB/
+//! cargo run -p msc-sim --release --bin paper -- diff --baseline out/
 //! ```
 //!
 //! `--metrics-out <dir>` enables the observability layer and writes a
@@ -35,21 +39,47 @@
 //! parallelism). Results are bit-identical at any thread count — seeds
 //! derive per packet from `(seed, cell, index)`, never from a shared
 //! stream.
+//!
+//! `--ci` appends a `±95%` column to every rendered table: each cell
+//! statistic's Wilson-interval half-width plus a `✓`/`?` convergence
+//! mark. Like the other observability flags it never changes results.
+//!
+//! `--metrics-out` additionally archives every report under
+//! `<dir>/archive/` keyed by (experiment, seed, git rev, config hash) —
+//! thread count excluded, since reports are thread-count invariant.
+//! `diff <runA> <runB>` joins two runs cell by cell and classifies each
+//! movement NOISE / SIGNIFICANT / NEW / GONE via 99% Wilson-interval
+//! overlap; `diff --baseline <dir>` compares `<dir>`'s newest archived
+//! run against the closest earlier archive entry. Exit code 1 means at
+//! least one SIGNIFICANT movement.
 
-use msc_sim::experiments::{find, Runner, REGISTRY};
-use std::path::PathBuf;
+use msc_sim::experiments::{find, REGISTRY};
+use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <experiment|all|list> [n] [seed] [--full] [--trace] [--profile] \
+        "usage: paper <experiment|all> [n] [seed] [--full] [--ci] [--trace] [--profile] \
          [--threads N] [--metrics-out <dir>] [--no-wave-cache] [--no-progress] \
-         [--flight-slow-us N]\n       paper replay <bundle.json> [--threads N] [--trace]"
+         [--flight-slow-us N]\n       paper list\n       \
+         paper replay <bundle.json> [--threads N] [--trace]\n       \
+         paper diff <runA> <runB> [--only-moved]\n       \
+         paper diff --baseline <metrics-dir> [--only-moved]"
     );
     eprintln!("experiments:");
-    for (id, desc, _) in REGISTRY {
-        eprintln!("  {id:6} {desc}");
+    for e in REGISTRY {
+        eprintln!("  {:12} {}", e.id, e.desc);
     }
     std::process::exit(2);
+}
+
+/// `paper list`: every registry entry with its default trial count
+/// (what a plain `paper <id>` run executes: `max(12, min_n)`).
+fn run_list() {
+    println!("{:12} {:>6}  description", "experiment", "trials");
+    for e in REGISTRY {
+        let trials = if e.min_n == 0 { "-".to_string() } else { e.effective_n(12).to_string() };
+        println!("{:12} {:>6}  {}", e.id, trials, e.desc);
+    }
 }
 
 fn main() {
@@ -58,9 +88,12 @@ fn main() {
         usage();
     }
     let mut full = false;
+    let mut ci = false;
     let mut trace = false;
     let mut profile = false;
     let mut no_progress = false;
+    let mut baseline = false;
+    let mut only_moved = false;
     let mut flight_slow_us = f64::INFINITY;
     let mut metrics_out: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
@@ -68,6 +101,9 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => full = true,
+            "--ci" => ci = true,
+            "--baseline" => baseline = true,
+            "--only-moved" => only_moved = true,
             "--trace" => trace = true,
             "--profile" => profile = true,
             "--no-progress" => no_progress = true,
@@ -106,12 +142,21 @@ fn main() {
     }
     let which = positional.first().map(|s| s.as_str()).unwrap_or("");
 
+    if which == "list" {
+        run_list();
+        return;
+    }
+
     if which == "replay" {
         let Some(path) = positional.get(1) else {
             eprintln!("replay needs a bundle path\n");
             usage();
         };
         std::process::exit(run_replay(path, trace));
+    }
+
+    if which == "diff" {
+        std::process::exit(run_diff(&positional[1..], baseline, only_moved));
     }
 
     let n: usize =
@@ -143,11 +188,13 @@ fn main() {
     // Runs one experiment: ambient experiment label, a profiler frame
     // named after it, wall-clock into the manifest, table JSON into
     // <dir>/reports/.
-    let run_one = |id: &'static str, run: Runner, manifest: &mut Option<msc_obs::RunManifest>| {
+    let run_one = |exp: &msc_sim::experiments::Experiment,
+                   manifest: &mut Option<msc_obs::RunManifest>| {
+        let id = exp.id;
         msc_obs::metrics::set_experiment(id);
         let frame = msc_obs::profile::scope(id);
         let t0 = std::time::Instant::now();
-        let report = run(n, seed);
+        let report = (exp.run)(n, seed);
         let wall = t0.elapsed().as_secs_f64();
         drop(frame);
         msc_obs::progress::experiment_done();
@@ -168,22 +215,29 @@ fn main() {
     let ticker = if no_progress { None } else { Some(msc_obs::progress::start(total as u64)) };
     let root = msc_obs::profile::scope("paper.run");
 
+    // Reports kept in memory for the archive (id, table JSON).
+    let mut archived: Vec<(String, String)> = Vec::new();
     match which {
-        "list" => usage(),
         "all" => {
-            for (id, _, run) in REGISTRY {
-                let (report, wall) = run_one(id, *run, &mut manifest);
-                println!("{}", report.render());
-                println!("  [{id} done in {wall:.1}s]\n");
+            for exp in REGISTRY {
+                let (report, wall) = run_one(exp, &mut manifest);
+                println!("{}", if ci { report.render_ci() } else { report.render() });
+                println!("  [{} done in {wall:.1}s]\n", exp.id);
+                if metrics_out.is_some() {
+                    archived.push((exp.id.to_string(), report.to_json()));
+                }
             }
         }
         other => {
-            let Some((id, _, run)) = find(other) else {
+            let Some(exp) = find(other) else {
                 eprintln!("unknown experiment: {other}\n");
                 usage();
             };
-            let (report, _) = run_one(id, *run, &mut manifest);
-            println!("{}", report.render());
+            let (report, _) = run_one(exp, &mut manifest);
+            println!("{}", if ci { report.render_ci() } else { report.render() });
+            if metrics_out.is_some() {
+                archived.push((exp.id.to_string(), report.to_json()));
+            }
         }
     }
 
@@ -235,6 +289,36 @@ fn main() {
         write("metrics.csv", msc_obs::export::to_csv(&snap));
         manifest.write(dir).unwrap_or_else(|e| eprintln!("failed to write manifest: {e}"));
         eprintln!("[obs] {} metrics + manifest + reports written to {}", snap.len(), dir.display());
+
+        // Content-addressed archive: every report stored under
+        // (experiment, seed, git rev, config hash). Thread count is
+        // deliberately excluded — reports are identical at any pool
+        // size — while anything that can move a cell feeds the hash.
+        let arch = msc_obs::archive::Archive::open(dir);
+        let config: Vec<(&str, String)> = vec![
+            ("n", n.to_string()),
+            ("full", full.to_string()),
+            ("perturb_margin_db", format!("{}", msc_sim::pipeline::perturb_margin_db())),
+        ];
+        for (id, json) in &archived {
+            let key =
+                msc_obs::archive::RunKey::new(id.clone(), seed, manifest.git_rev.clone(), &config);
+            if let Err(e) = arch.store(&key, json, manifest.created_unix_s) {
+                eprintln!("failed to archive {id}: {e}");
+            }
+        }
+        match arch.prune(8) {
+            Ok(removed) if removed > 0 => {
+                eprintln!("[archive] pruned {removed} old run(s)");
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("archive prune failed: {e}"),
+        }
+        eprintln!(
+            "[archive] {} report(s) archived under {}",
+            archived.len(),
+            arch.root().display()
+        );
     }
 
     if profile {
@@ -308,6 +392,117 @@ fn write_profile(dir: Option<&std::path::Path>) {
         profile.attributed_frac() * 100.0,
         dir.display()
     );
+}
+
+/// `paper diff`: joins two runs cell by cell and classifies every
+/// statistic movement via 99% Wilson-interval overlap. Operands are
+/// report files, `--metrics-out` directories, or directories of report
+/// JSONs; `--baseline` instead takes one `--metrics-out` directory and
+/// compares its newest archived run against the closest earlier archive
+/// entry. Exit codes: 0 — every movement within noise, 1 — at least one
+/// SIGNIFICANT movement, 2 — operand or parse errors.
+fn run_diff(operands: &[String], baseline: bool, only_moved: bool) -> i32 {
+    use msc_obs::diff;
+    let mut total = diff::DiffSummary::default();
+    let mut compared = 0usize;
+    let mut diff_one = |id: &str, a_json: &str, b_json: &str| -> i32 {
+        match diff::diff_report_json(a_json, b_json) {
+            Ok((diffs, summary)) => {
+                print!("{}", diff::render_diff(id, &diffs, &summary, only_moved));
+                total.merge(&summary);
+                compared += 1;
+                0
+            }
+            Err(e) => {
+                eprintln!("{id}: {e}");
+                2
+            }
+        }
+    };
+    if baseline {
+        let Some(dir) = operands.first() else {
+            eprintln!("diff --baseline needs a --metrics-out directory\n");
+            usage();
+        };
+        let dir = Path::new(dir);
+        let current = match diff::collect_reports(dir) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        let arch = msc_obs::archive::Archive::open(dir);
+        let entries = arch.entries();
+        if entries.is_empty() {
+            eprintln!(
+                "{}: empty archive — produce runs with --metrics-out first",
+                arch.root().display()
+            );
+            return 2;
+        }
+        for (id, cur_json) in &current {
+            // This run is, by construction, the newest archive entry
+            // for its experiment; the baseline is the closest earlier
+            // comparable entry.
+            let cur_entry =
+                entries.iter().filter(|e| &e.key.experiment == id).max_by_key(|e| e.created_unix_s);
+            let Some(cur_entry) = cur_entry else {
+                println!("== diff {id} ==\n  (not archived; skipped)");
+                continue;
+            };
+            let Some(base) = arch.latest_baseline(&cur_entry.key) else {
+                println!("== diff {id} ==\n  (no comparable baseline in archive)");
+                continue;
+            };
+            let base_json = match arch.load(&base) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{id}: {e}");
+                    return 2;
+                }
+            };
+            eprintln!("[diff] {id}: baseline {} ({})", base.key.file_stem(), base.created_unix_s);
+            let rc = diff_one(id, &base_json, cur_json);
+            if rc != 0 {
+                return rc;
+            }
+        }
+    } else {
+        let (Some(a), Some(b)) = (operands.first(), operands.get(1)) else {
+            eprintln!("diff needs two run paths (or --baseline <dir>)\n");
+            usage();
+        };
+        let pair = (diff::collect_reports(Path::new(a)), diff::collect_reports(Path::new(b)));
+        let (a, b) = match pair {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        for (id, b_json) in &b {
+            let Some(a_json) = a.get(id) else {
+                println!("== diff {id} ==\n  (only in run B)");
+                continue;
+            };
+            let rc = diff_one(id, a_json, b_json);
+            if rc != 0 {
+                return rc;
+            }
+        }
+        for id in a.keys() {
+            if !b.contains_key(id) {
+                println!("== diff {id} ==\n  (only in run A)");
+            }
+        }
+    }
+    println!("diff total over {compared} report(s): {}", total.line());
+    if total.significant > 0 {
+        1
+    } else {
+        0
+    }
 }
 
 /// `paper replay <bundle>`: re-run one recorded trial and check it

@@ -40,16 +40,22 @@ pub fn run(n: usize, seed: u64) -> Report {
             }
             msc_obs::metrics::gauge_set("id.accuracy_avg", "", "fullprec", avg);
         }
-        report.row(&[
-            l_p.to_string(),
-            l_m.to_string(),
-            pct(avg),
-            pct(min),
-            pct(per[0]),
-            pct(per[1]),
-            pct(per[2]),
-            pct(per[3]),
-        ]);
+        report.keyed_row(
+            format!("fig5/lp{l_p}"),
+            &[
+                l_p.to_string(),
+                l_m.to_string(),
+                pct(avg),
+                pct(min),
+                pct(per[0]),
+                pct(per[1]),
+                pct(per[2]),
+                pct(per[3]),
+            ],
+        );
+        // One trial = one trace; misidentifications out of all traces.
+        let total = trace_tuples.len() as u64;
+        report.stat("id_err", ((1.0 - avg) * total as f64).round() as u64, total);
     }
     report.note("Paper Fig. 5b: L_p=40, L_m=120 reaches min 99.3% / avg 99.7%.");
     report.note("Envelope classes: 11b chip dips, 11n STF periodicity, BLE/ZigBee FM-to-AM structure (see msc-core::envelope).");

@@ -54,7 +54,12 @@ pub fn run(n: usize, seed: u64) -> Report {
             msc_obs::metrics::gauge_set("id.accuracy", p.label(), stage, per[i]);
         }
         msc_obs::metrics::gauge_set("id.accuracy_avg", "", stage, avg);
-        report.row(&[label.into(), pct(avg), pct(per[0]), pct(per[1]), pct(per[2]), pct(per[3])]);
+        report.keyed_row(
+            format!("fig7/{stage}"),
+            &[label.into(), pct(avg), pct(per[0]), pct(per[1]), pct(per[2]), pct(per[3])],
+        );
+        let total = test.len() as u64;
+        report.stat("id_err", ((1.0 - avg) * total as f64).round() as u64, total);
     }
     report.note("Paper Fig. 7b: blind 0.906 → ordered 0.976 average accuracy.");
     report

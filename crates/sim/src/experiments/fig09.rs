@@ -73,13 +73,19 @@ pub fn run(n: usize, seed: u64) -> Report {
                     }
                 }
             }
-            report.row(&[
-                kind.label().into(),
-                occ.label().into(),
-                f1(orig_snr),
-                pct(ber.ber()),
-                pct(orig_lost as f64 / n as f64),
-            ]);
+            report.keyed_row(
+                format!("fig9/{}/{}", kind.label(), occ.label()),
+                &[
+                    kind.label().into(),
+                    occ.label().into(),
+                    f1(orig_snr),
+                    pct(ber.ber()),
+                    pct(orig_lost as f64 / n as f64),
+                ],
+            );
+            let errs = (ber.ber() * ber.bits() as f64).round() as u64;
+            report.stat_clustered("tag_ber", errs, ber.bits(), n as u64);
+            report.stat("orig_per", orig_lost as u64, n as u64);
         }
     }
     report.note("Paper Fig. 9a: Hitchhike tag BER 0.2% (clear) → 59% (concrete wall).");

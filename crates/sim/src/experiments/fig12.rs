@@ -9,19 +9,33 @@ use crate::throughput::{goodput, ExcitationProfile};
 use msc_core::overlay::{gamma_for, Mode};
 use msc_phy::protocol::Protocol;
 
-/// Measures delivery fractions for (protocol, mode) over `n` placements.
-fn delivery(seed: u64, p: Protocol, mode: Mode, n: usize, cell: &str) -> (f64, f64) {
+/// Per-cell delivery outcome for (protocol, mode) over `n` placements:
+/// mean fractions for the throughput model plus the raw counts behind
+/// them (for the report's statistics columns).
+struct Delivery {
+    prod_ok: f64,
+    tag_ok: f64,
+    delivered: usize,
+    tag_err: usize,
+    tag_bits: usize,
+}
+
+fn delivery(seed: u64, p: Protocol, mode: Mode, n: usize, cell: &str) -> Delivery {
     let link = AnyLink::new(p, mode);
-    let mut prod_ok = 0.0;
-    let mut tag_ok = 0.0;
+    let mut d = Delivery { prod_ok: 0.0, tag_ok: 0.0, delivered: 0, tag_err: 0, tag_bits: 0 };
     let geo = Geometry::los(6.0); // the paper's spatial-diversity sweep
     for out in run_packets(&link, &geo, mode, 16, n, seed, cell) {
         if out.decoded {
-            prod_ok += 1.0 - out.productive_errors as f64 / out.productive_units.max(1) as f64;
-            tag_ok += 1.0 - out.tag_errors as f64 / out.tag_bits.max(1) as f64;
+            d.delivered += 1;
+            d.tag_err += out.tag_errors;
+            d.tag_bits += out.tag_bits;
+            d.prod_ok += 1.0 - out.productive_errors as f64 / out.productive_units.max(1) as f64;
+            d.tag_ok += 1.0 - out.tag_errors as f64 / out.tag_bits.max(1) as f64;
         }
     }
-    (prod_ok / n as f64, tag_ok / n as f64)
+    d.prod_ok /= n as f64;
+    d.tag_ok /= n as f64;
+    d
 }
 
 /// Runs with `n` placements per cell.
@@ -48,19 +62,29 @@ pub fn run(n: usize, seed: u64) -> Report {
                 _ => "mode3",
             };
             let cell = format!("fig12/{}/{stage}", p.label());
-            let (prod_ok, tag_ok) = delivery(seed, p, meas_mode, n, &cell);
-            let g = goodput(&profile, mode, prod_ok, tag_ok);
+            let d = delivery(seed, p, meas_mode, n, &cell);
+            let g = goodput(&profile, mode, d.prod_ok, d.tag_ok);
             msc_obs::metrics::gauge_set("link.productive_bps", p.label(), stage, g.productive_bps);
             msc_obs::metrics::gauge_set("link.tag_bps", p.label(), stage, g.tag_bps);
             msc_obs::metrics::gauge_set("link.aggregate_bps", p.label(), stage, g.aggregate_bps());
-            report.row(&[
-                p.label().into(),
-                label.into(),
-                format!("{}", msc_core::overlay::params_for(p, mode).kappa),
-                f1(g.productive_bps / 1e3),
-                f1(g.tag_bps / 1e3),
-                f1(g.aggregate_bps() / 1e3),
-            ]);
+            report.keyed_row(
+                &cell,
+                &[
+                    p.label().into(),
+                    label.into(),
+                    format!("{}", msc_core::overlay::params_for(p, mode).kappa),
+                    f1(g.productive_bps / 1e3),
+                    f1(g.tag_bps / 1e3),
+                    f1(g.aggregate_bps() / 1e3),
+                ],
+            );
+            report.stat("per", (n - d.delivered) as u64, n as u64);
+            report.stat_clustered(
+                "tag_ber",
+                d.tag_err as u64,
+                d.tag_bits as u64,
+                d.delivered as u64,
+            );
         }
     }
     report.note("Paper Fig. 12: BLE mode-1 aggregate 278.4 kbps (141.6 productive + 136.8 tag); mode 2 ⇒ 3:1 tag:productive; mode 3 ⇒ productive ≈ 0.");

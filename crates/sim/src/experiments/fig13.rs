@@ -55,14 +55,21 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
             if per < 0.5 && ber < 0.3 {
                 max_range = d;
             }
-            report.row(&[
-                p.label().into(),
-                f1(d),
-                f1(geo.rssi_dbm(p)),
-                pct(per),
-                pct(ber),
-                f1(g.aggregate_bps() / 1e3),
-            ]);
+            report.keyed_row(
+                &cell,
+                &[
+                    p.label().into(),
+                    f1(d),
+                    f1(geo.rssi_dbm(p)),
+                    pct(per),
+                    pct(ber),
+                    f1(g.aggregate_bps() / 1e3),
+                ],
+            );
+            report.stat("per", (n - delivered) as u64, n as u64);
+            // Bit errors within a packet share one fading draw, so the
+            // effective sample count is delivered packets, not bits.
+            report.stat_clustered("tag_ber", tag_err as u64, tag_bits as u64, delivered as u64);
         }
         counter.export_obs(p.label(), stage);
         msc_obs::metrics::gauge_set("pipe.max_range_m", p.label(), stage, max_range);

@@ -29,13 +29,19 @@ pub fn run(n: usize, seed: u64) -> Report {
         let link = AnyLink::new(p, Mode::Mode1);
         let cell = format!("fig15/{}", p.label());
         let mut ok = 0.0;
+        let (mut delivered, mut tag_err, mut tag_bits) = (0usize, 0usize, 0usize);
         for out in run_packets(&link, &Geometry::los(6.0), Mode::Mode1, 16, n, seed, &cell) {
             if out.decoded {
+                delivered += 1;
+                tag_err += out.tag_errors;
+                tag_bits += out.tag_bits;
                 ok += 1.0 - out.tag_errors as f64 / out.tag_bits.max(1) as f64;
             }
         }
         let g = goodput(&ExcitationProfile::paper_default(p), Mode::Mode1, 1.0, ok / n as f64);
-        report.row(&["multiscatter".into(), p.label().into(), f1(g.tag_bps / 1e3)]);
+        report.keyed_row(&cell, &["multiscatter".into(), p.label().into(), f1(g.tag_bps / 1e3)]);
+        report.stat("per", (n - delivered) as u64, n as u64);
+        report.stat_clustered("tag_ber", tag_err as u64, tag_bits as u64, delivered as u64);
     }
 
     // Baselines on 802.11b: the original channel sits behind the drywall

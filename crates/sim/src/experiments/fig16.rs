@@ -106,6 +106,17 @@ pub fn run(n: usize, seed: u64) -> Report {
     for p in identified.into_iter().flatten() {
         ids[Protocol::ALL.iter().position(|&q| q == p).unwrap()] += 1;
     }
+    report.keyed_row(
+        "fig16/iq-collision",
+        &[
+            "iq-collision".into(),
+            "11n+BLE".into(),
+            "-".into(),
+            "-".into(),
+            pct(ids[0] as f64 / n as f64),
+        ],
+    );
+    report.stat("id_11n", ids[0] as u64, n as u64);
     report.note(format!(
         "IQ-level collision check: {n} simultaneous 11n+BLE packets at the tag identified as [11n, 11b, BLE, ZigBee] = {ids:?} — the denser, stronger 11n wins, matching the paper's observation."
     ));

@@ -52,12 +52,16 @@ pub fn run(n: usize, seed: u64) -> Report {
         })
         .into_iter()
         .fold((0usize, 0usize), |(e, b), (de, db)| (e + de, b + db));
-        report.row(&[
-            "802.11n".into(),
-            label.into(),
-            pct(errors as f64 / bits.max(1) as f64),
-            n.to_string(),
-        ]);
+        report.keyed_row(
+            format!("fig17/{label}"),
+            &[
+                "802.11n".into(),
+                label.into(),
+                pct(errors as f64 / bits.max(1) as f64),
+                n.to_string(),
+            ],
+        );
+        report.stat_clustered("tag_ber", errors as u64, bits as u64, n as u64);
     }
 
     // 802.11b: the overlay link itself supports all reference-symbol
@@ -92,12 +96,16 @@ pub fn run(n: usize, seed: u64) -> Report {
         })
         .into_iter()
         .fold((0usize, 0usize), |(e, b), (de, db)| (e + de, b + db));
-        report.row(&[
-            "802.11b".into(),
-            label.into(),
-            pct(errors as f64 / bits.max(1) as f64),
-            n.to_string(),
-        ]);
+        report.keyed_row(
+            format!("fig17/{label}"),
+            &[
+                "802.11b".into(),
+                label.into(),
+                pct(errors as f64 / bits.max(1) as f64),
+                n.to_string(),
+            ],
+        );
+        report.stat_clustered("tag_ber", errors as u64, bits as u64, n as u64);
     }
     report.note("Paper Fig. 17: all schemes keep tag BER below ~0.6% — the reference modulation does not matter.");
     report

@@ -27,43 +27,140 @@ pub mod tables;
 /// replayable.
 pub type Runner = fn(usize, u64) -> crate::report::Report;
 
-/// Every experiment: `(id, description, runner)`. The id is the CLI
-/// name, the metrics `experiment` label, and the flight-recorder
-/// dispatch key.
-pub const REGISTRY: &[(&str, &str, Runner)] = &[
-    ("fig4", "rectifier: clamp vs basic, ours vs WISP", fig04::run),
-    ("fig5", "identification accuracy vs (L_p, L_m) at 20 Msps", fig05::run),
-    ("fig6", "ordered-matching chain + score separation", fig06::run),
-    ("fig7", "blind vs ordered matching at 10 Msps quantized", fig07::run),
-    ("fig8", "low-rate identification + 40 µs window extension", fig08::run),
-    ("fig9", "baseline occlusion BER + modulation offsets", fig09::run),
-    ("tab1", "system taxonomy, demonstrated by execution", tab1::run),
-    ("tab2", "FPGA resource comparison", tables::tab2),
-    ("tab3", "prototype power budget", tables::tab3),
-    ("tab4", "tag-data exchange times from harvested energy", tables::tab4),
-    ("tab5", "identification power efficiency", tables::tab5),
-    ("tab6", "overlay modes", tables::tab6),
-    ("fig12", "throughput tradeoffs across modes", fig12::run),
-    ("fig13", "LoS RSSI/BER/throughput vs distance", fig13::run),
-    ("fig14", "NLoS RSSI/BER/throughput vs distance", fig14::run),
-    ("fig15", "occluded original channel: multiscatter vs baselines", fig15::run),
-    ("fig16", "colliding excitations (time & frequency)", fig16::run),
-    ("fig17", "tag BER vs reference-symbol modulation", fig17::run),
-    ("fig18", "excitation diversity", fig18::run),
-    ("fig18-dyn", "uninterrupted backscatter on a packet timeline", fig18::run_dynamic),
-    ("ext-fec", "future work: FEC tag coding vs repetition", extensions::ext_fec),
-    ("ext-filter", "future work: tag band filter vs collisions", extensions::ext_filter),
-    ("ext-wakeup", "future work: wake-up-receiver power gating", extensions::ext_wakeup),
-    ("ext-multitag", "extension: two tags TDM-share one carrier", extensions::ext_multitag),
-    ("abl-bits", "ablation: quantization width vs accuracy/cost", ablations::abl_bits),
-    ("abl-gamma", "ablation: ZigBee tag spreading vs SNR", ablations::abl_gamma),
-    ("abl-slope", "ablation: FM-to-AM front-end slope", ablations::abl_slope),
-    ("abl-lag", "ablation: correlator lag-search radius", ablations::abl_lag),
-    ("abl-cfo", "ablation: CFO tolerance per protocol", ablations::abl_cfo),
-    ("tab4-dyn", "event-driven energy lifecycle (dynamic Table 4)", energy_dyn::run),
+/// One registry entry: the CLI name, a one-line description, the
+/// runner's trial-count floor, and the runner itself.
+#[derive(Clone, Copy, Debug)]
+pub struct Experiment {
+    /// CLI name, metrics `experiment` label, flight-recorder dispatch
+    /// key, and `paper diff` scenario id.
+    pub id: &'static str,
+    /// One-line description (`paper list`).
+    pub desc: &'static str,
+    /// The runner's Monte-Carlo floor: a requested `n` below this is
+    /// clamped up (`n.max(floor)`); 0 for deterministic tables with no
+    /// trial knob. The effective default trial count of a plain
+    /// `paper <id>` run is `max(12, min_n)`.
+    pub min_n: usize,
+    /// The runner.
+    pub run: Runner,
+}
+
+impl Experiment {
+    /// The trial count a run requesting `n` actually executes.
+    pub fn effective_n(&self, n: usize) -> usize {
+        n.max(self.min_n)
+    }
+}
+
+const fn exp(id: &'static str, desc: &'static str, min_n: usize, run: Runner) -> Experiment {
+    Experiment { id, desc, min_n, run }
+}
+
+/// Every experiment. The `min_n` column mirrors each runner's internal
+/// `n.max(...)` clamp (checked against the runner sources by the
+/// `registry_floors_match_runners` test below).
+pub const REGISTRY: &[Experiment] = &[
+    exp("fig4", "rectifier: clamp vs basic, ours vs WISP", 0, fig04::run),
+    exp("fig5", "identification accuracy vs (L_p, L_m) at 20 Msps", 8, fig05::run),
+    exp("fig6", "ordered-matching chain + score separation", 12, fig06::run),
+    exp("fig7", "blind vs ordered matching at 10 Msps quantized", 16, fig07::run),
+    exp("fig8", "low-rate identification + 40 µs window extension", 16, fig08::run),
+    exp("fig9", "baseline occlusion BER + modulation offsets", 6, fig09::run),
+    exp("tab1", "system taxonomy, demonstrated by execution", 0, tab1::run),
+    exp("tab2", "FPGA resource comparison", 0, tables::tab2),
+    exp("tab3", "prototype power budget", 0, tables::tab3),
+    exp("tab4", "tag-data exchange times from harvested energy", 0, tables::tab4),
+    exp("tab5", "identification power efficiency", 0, tables::tab5),
+    exp("tab6", "overlay modes", 0, tables::tab6),
+    exp("fig12", "throughput tradeoffs across modes", 6, fig12::run),
+    exp("fig13", "LoS RSSI/BER/throughput vs distance", 6, fig13::run),
+    exp("fig14", "NLoS RSSI/BER/throughput vs distance", 6, fig14::run),
+    exp("fig15", "occluded original channel: multiscatter vs baselines", 8, fig15::run),
+    exp("fig16", "colliding excitations (time & frequency)", 6, fig16::run),
+    exp("fig17", "tag BER vs reference-symbol modulation", 8, fig17::run),
+    exp("fig18", "excitation diversity", 0, fig18::run),
+    exp("fig18-dyn", "uninterrupted backscatter on a packet timeline", 0, fig18::run_dynamic),
+    exp("ext-fec", "future work: FEC tag coding vs repetition", 10, extensions::ext_fec),
+    exp("ext-filter", "future work: tag band filter vs collisions", 10, extensions::ext_filter),
+    exp("ext-wakeup", "future work: wake-up-receiver power gating", 0, extensions::ext_wakeup),
+    exp("ext-multitag", "extension: two tags TDM-share one carrier", 8, extensions::ext_multitag),
+    exp("abl-bits", "ablation: quantization width vs accuracy/cost", 12, ablations::abl_bits),
+    exp("abl-gamma", "ablation: ZigBee tag spreading vs SNR", 8, ablations::abl_gamma),
+    exp("abl-slope", "ablation: FM-to-AM front-end slope", 10, ablations::abl_slope),
+    exp("abl-lag", "ablation: correlator lag-search radius", 10, ablations::abl_lag),
+    exp("abl-cfo", "ablation: CFO tolerance per protocol", 6, ablations::abl_cfo),
+    exp("tab4-dyn", "event-driven energy lifecycle (dynamic Table 4)", 0, energy_dyn::run),
 ];
 
 /// Looks up an experiment by id.
-pub fn find(id: &str) -> Option<&'static (&'static str, &'static str, Runner)> {
-    REGISTRY.iter().find(|(eid, _, _)| *eid == id)
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_findable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in REGISTRY {
+            assert!(seen.insert(e.id), "duplicate registry id {}", e.id);
+            assert_eq!(find(e.id).map(|f| f.id), Some(e.id));
+        }
+        assert!(find("no-such-experiment").is_none());
+        assert_eq!(find("fig13").unwrap().effective_n(1), 6, "requests below the floor clamp up");
+        assert_eq!(find("fig13").unwrap().effective_n(60), 60);
+    }
+
+    /// The declared `min_n` floors must mirror the runners' internal
+    /// `n.max(...)` clamps. Rather than running every experiment twice,
+    /// this scans each runner's source for its clamp — a registry edit
+    /// that drifts from the runner (or vice versa) fails here.
+    #[test]
+    fn registry_floors_match_runners() {
+        // Registry id → (source file, implementing function). fig13/14
+        // share `run_deployment`, which owns the clamp for both.
+        let locate = |id: &str| -> (String, String) {
+            match id {
+                "fig4" => ("fig04.rs".into(), "run".into()),
+                "tab1" => ("tab1.rs".into(), "run".into()),
+                "tab4-dyn" => ("energy_dyn.rs".into(), "run".into()),
+                "fig13" | "fig14" => ("fig13.rs".into(), "run_deployment".into()),
+                "fig18-dyn" => ("fig18.rs".into(), "run_dynamic".into()),
+                t if t.starts_with("tab") => ("tables.rs".into(), t.into()),
+                t if t.starts_with("ext-") => ("extensions.rs".into(), t.replace('-', "_")),
+                t if t.starts_with("abl-") => ("ablations.rs".into(), t.replace('-', "_")),
+                t if t.starts_with("fig") => {
+                    let num: usize = t[3..].parse().expect("figNN id");
+                    (format!("fig{num:02}.rs"), "run".into())
+                }
+                other => panic!("no source mapping for registry id {other}"),
+            }
+        };
+        let base = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/experiments");
+        for e in REGISTRY {
+            let (file, func) = locate(e.id);
+            let src = std::fs::read_to_string(base.join(&file))
+                .unwrap_or_else(|err| panic!("{file}: {err}"));
+            let sig = format!("pub fn {func}(");
+            let start = src.find(&sig).unwrap_or_else(|| panic!("{file}: no `{sig}`"));
+            // The function body runs until the next top-level `pub fn`.
+            let body = &src[start..];
+            let end =
+                body[sig.len()..].find("\npub fn ").map(|i| i + sig.len()).unwrap_or(body.len());
+            let body = &body[..end];
+            let floor = body
+                .find("n.max(")
+                .map(|i| {
+                    let digits: String = body[i + "n.max(".len()..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect();
+                    digits.parse::<usize>().expect("literal clamp")
+                })
+                .unwrap_or(0);
+            assert_eq!(e.min_n, floor, "registry floor for {} disagrees with {file}::{func}", e.id);
+        }
+    }
 }

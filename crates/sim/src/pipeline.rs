@@ -34,12 +34,29 @@ pub fn tx_power_dbm(_p: Protocol) -> f64 {
 /// maximal ranges land at the paper's Fig. 13a values (28 m WiFi,
 /// 22 m ZigBee, 20 m BLE); EXPERIMENTS.md documents the calibration.
 pub fn rx_impl_margin_db(p: Protocol) -> f64 {
-    match p {
+    let base = match p {
         Protocol::WifiN => 1.0,
         Protocol::WifiB => 8.0,
         Protocol::ZigBee => 15.5,
         Protocol::Ble => 14.0,
-    }
+    };
+    base + perturb_margin_db()
+}
+
+/// Test hook: `MSC_PERTURB_MARGIN_DB=<dB>` adds a uniform offset to
+/// every protocol's implementation margin, shifting effective SNR and
+/// thus PER/BER operating points. Exists so `paper diff` CI smoke tests
+/// can inject a real (non-seed) regression; the knob value feeds the
+/// archive's config hash, so perturbed runs never collide with clean
+/// ones. Read once per process.
+pub fn perturb_margin_db() -> f64 {
+    static PERTURB: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *PERTURB.get_or_init(|| {
+        std::env::var("MSC_PERTURB_MARGIN_DB")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0)
+    })
 }
 
 /// A geometric deployment for one measurement.

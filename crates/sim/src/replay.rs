@@ -30,13 +30,13 @@ pub struct ReplayResult {
 /// only the capture target matters) and restores it to disarmed on
 /// return, so callers must not be mid-recording.
 pub fn replay(bundle: &Bundle) -> Result<ReplayResult, String> {
-    let (id, _, run) = experiments::find(&bundle.experiment)
+    let exp = experiments::find(&bundle.experiment)
         .ok_or_else(|| format!("unknown experiment {:?} in bundle", bundle.experiment))?;
 
     flight::arm(FlightConfig { ring: 0, max_dumps: 0, ..FlightConfig::default() });
     flight::set_replay_target(bundle.cell.clone(), bundle.index);
-    msc_obs::metrics::set_experiment(id);
-    let _report = run(bundle.n, bundle.seed);
+    msc_obs::metrics::set_experiment(exp.id);
+    let _report = (exp.run)(bundle.n, bundle.seed);
     flight::clear_replay_target();
     let captured = flight::take_captured();
     flight::disarm();

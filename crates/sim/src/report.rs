@@ -1,10 +1,29 @@
 //! Plain-text tables for experiment output (the `paper` binary prints
 //! one table or series per paper figure/table).
+//!
+//! Beyond display strings, a row can carry a *join key* and named
+//! raw-count statistics ([`RowStat`]): the numerator/denominator behind
+//! each Monte-Carlo estimate the row shows. Those counts are what make
+//! `--ci` (Wilson-interval `±` column), the run archive, and
+//! `paper diff`'s NOISE/SIGNIFICANT classification possible — a
+//! formatted percentage cannot be compared statistically, `5/480` can.
 
+use msc_obs::stats::{Proportion, CONVERGED_HALF_WIDTH, Z95};
 use std::fmt::Write as _;
 
+/// One named raw-count statistic attached to a report row.
+#[derive(Clone, Debug)]
+pub struct RowStat {
+    /// Statistic name (`per`, `tag_ber`, `acc`, …).
+    pub name: String,
+    /// The raw-count estimate (numerator, denominator, independent
+    /// clusters).
+    pub p: Proportion,
+}
+
 /// A printable experiment report: a title, optional commentary, and an
-/// aligned table.
+/// aligned table whose rows may carry join keys and raw-count
+/// statistics.
 #[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment id + description ("fig13 — LoS RSSI/BER/throughput").
@@ -13,6 +32,11 @@ pub struct Report {
     pub notes: Vec<String>,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Per-row join key for `paper diff` (`""` when unkeyed — such rows
+    /// join by position as `#<index>`).
+    keys: Vec<String>,
+    /// Per-row statistics (empty for display-only rows).
+    stats: Vec<Vec<RowStat>>,
 }
 
 impl Report {
@@ -23,6 +47,8 @@ impl Report {
             notes: Vec::new(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            keys: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
@@ -30,6 +56,37 @@ impl Report {
     pub fn row(&mut self, cells: &[String]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
         self.rows.push(cells.to_vec());
+        self.keys.push(String::new());
+        self.stats.push(Vec::new());
+    }
+
+    /// Adds one row with a stable join key — use the same cell label
+    /// passed to the pipeline (e.g. `"los/802.11b/8"`) so `paper diff`
+    /// joins this row across runs even when numeric cells move.
+    pub fn keyed_row(&mut self, key: impl Into<String>, cells: &[String]) {
+        self.row(cells);
+        *self.keys.last_mut().unwrap() = key.into();
+    }
+
+    /// Attaches a named raw-count statistic to the most recent row:
+    /// `num` successes (or errors) out of `den` independent trials.
+    pub fn stat(&mut self, name: &str, num: u64, den: u64) {
+        self.stat_clustered(name, num, den, den);
+    }
+
+    /// [`Report::stat`] for counts whose observations arrived in
+    /// `clusters` independent groups (bit errors grouped by packet):
+    /// the confidence interval uses the cluster count as its sample
+    /// size, so packet-correlated bits don't fake precision.
+    pub fn stat_clustered(&mut self, name: &str, num: u64, den: u64, clusters: u64) {
+        let row_stats = self.stats.last_mut().expect("stat() before any row()");
+        row_stats
+            .push(RowStat { name: name.to_string(), p: Proportion::clustered(num, den, clusters) });
+    }
+
+    /// The most recent row's statistics (tests, diff tooling).
+    pub fn last_row_stats(&self) -> &[RowStat] {
+        self.stats.last().map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Adds a commentary line printed under the table.
@@ -49,11 +106,48 @@ impl Report {
 
     /// Renders the aligned table.
     pub fn render(&self) -> String {
-        let ncol = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
+        self.render_table(false)
+    }
+
+    /// Renders the table with an extra `±95%` column: per statistic,
+    /// the Wilson-interval half-width at 95% plus a convergence marker
+    /// (`✓` decided to ±0.05, `?` undecided — more trials would still
+    /// move it). Deterministic for a deterministic report: the column
+    /// derives only from raw counts, never from clocks or thread
+    /// scheduling.
+    pub fn render_ci(&self) -> String {
+        self.render_table(true)
+    }
+
+    fn ci_cell(stats: &[RowStat]) -> String {
+        let parts: Vec<String> = stats
+            .iter()
+            .map(|s| {
+                let hw = s.p.wilson(Z95).half_width();
+                let mark = if s.p.converged(CONVERGED_HALF_WIDTH) { "✓" } else { "?" };
+                format!("{}±{:.3}{}", s.name, hw, mark)
+            })
+            .collect();
+        parts.join(" ")
+    }
+
+    fn render_table(&self, with_ci: bool) -> String {
+        let mut header = self.header.clone();
+        let mut rows = self.rows.clone();
+        if with_ci {
+            header.push("±95%".to_string());
+            for (row, stats) in rows.iter_mut().zip(&self.stats) {
+                row.push(Self::ci_cell(stats));
+            }
+        }
+        let ncol = header.len();
+        // Unicode-aware column widths: the ± column mixes ASCII and
+        // multi-byte marks, so byte length would misalign it.
+        let width_of = |s: &str| s.chars().count();
+        let mut widths: Vec<usize> = header.iter().map(|h| width_of(h)).collect();
+        for row in &rows {
             for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
+                widths[i] = widths[i].max(width_of(c));
             }
         }
         let mut out = String::new();
@@ -64,14 +158,17 @@ impl Report {
                 if i > 0 {
                     s.push_str("  ");
                 }
-                let _ = write!(s, "{:width$}", cells[i], width = widths[i]);
+                s.push_str(&cells[i]);
+                for _ in width_of(&cells[i])..widths[i] {
+                    s.push(' ');
+                }
             }
             let _ = writeln!(out, "{}", s.trim_end());
         };
-        line(&mut out, &self.header);
+        line(&mut out, &header);
         let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
         line(&mut out, &sep);
-        for row in &self.rows {
+        for row in &rows {
             line(&mut out, row);
         }
         for n in &self.notes {
@@ -81,10 +178,12 @@ impl Report {
     }
 
     /// Serializes the report as a JSON object (`--metrics-out` sink):
-    /// `{"schema_version", "title", "header", "rows", "notes"}` with
-    /// rows as string arrays, so any plotting script can consume the
-    /// table directly. The schema version is shared with every other
-    /// JSON artifact the workspace emits (see `msc_obs::SCHEMA_VERSION`).
+    /// `{"schema_version", "title", "header", "rows", "notes", "keys",
+    /// "stats"}` with rows as string arrays, `keys` the per-row join
+    /// keys, and `stats` the per-row raw-count statistics — the machine
+    /// form `paper diff` and the run archive consume. The schema
+    /// version is shared with every other JSON artifact the workspace
+    /// emits (see `msc_obs::SCHEMA_VERSION`).
     pub fn to_json(&self) -> String {
         use msc_obs::export::json_escape;
         let arr = |items: &[String]| {
@@ -93,13 +192,34 @@ impl Report {
             format!("[{}]", cells.join(", "))
         };
         let rows: Vec<String> = self.rows.iter().map(|r| format!("    {}", arr(r))).collect();
+        let stats: Vec<String> = self
+            .stats
+            .iter()
+            .map(|row_stats| {
+                let items: Vec<String> = row_stats
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"name\": \"{}\", \"num\": {}, \"den\": {}, \"clusters\": {}}}",
+                            json_escape(&s.name),
+                            s.p.num,
+                            s.p.den,
+                            s.p.clusters
+                        )
+                    })
+                    .collect();
+                format!("    [{}]", items.join(", "))
+            })
+            .collect();
         format!(
-            "{{\n  \"schema_version\": {},\n  \"title\": \"{}\",\n  \"header\": {},\n  \"notes\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema_version\": {},\n  \"title\": \"{}\",\n  \"header\": {},\n  \"notes\": {},\n  \"rows\": [\n{}\n  ],\n  \"keys\": {},\n  \"stats\": [\n{}\n  ]\n}}\n",
             msc_obs::SCHEMA_VERSION,
             json_escape(&self.title),
             arr(&self.header),
             arr(&self.notes),
-            rows.join(",\n")
+            rows.join(",\n"),
+            arr(&self.keys),
+            stats.join(",\n")
         )
     }
 
@@ -175,5 +295,51 @@ mod tests {
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(f3(0.12345), "0.123");
         assert_eq!(pct(0.931), "93.1%");
+    }
+
+    #[test]
+    fn keyed_rows_and_stats_serialize_to_v3_json() {
+        let mut r = Report::new("t", &["proto", "ber"]);
+        r.keyed_row("los/ble/2", &["BLE".into(), "0.4%".into()]);
+        r.stat("per", 0, 12);
+        r.stat_clustered("ber", 2, 480, 12);
+        r.row(&["ZigBee".into(), "-".into()]); // display-only row
+        let v = msc_obs::export::parse_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("schema_version").unwrap().as_f64().unwrap() as u32, 3);
+        let keys = v.get("keys").unwrap().as_arr().unwrap();
+        assert_eq!(keys[0].as_str().unwrap(), "los/ble/2");
+        assert_eq!(keys[1].as_str().unwrap(), "");
+        let stats = v.get("stats").unwrap().as_arr().unwrap();
+        assert_eq!(stats.len(), 2);
+        let row0 = stats[0].as_arr().unwrap();
+        assert_eq!(row0.len(), 2);
+        assert_eq!(row0[1].get("name").unwrap().as_str().unwrap(), "ber");
+        assert_eq!(row0[1].get("num").unwrap().as_f64().unwrap() as u64, 2);
+        assert_eq!(row0[1].get("den").unwrap().as_f64().unwrap() as u64, 480);
+        assert_eq!(row0[1].get("clusters").unwrap().as_f64().unwrap() as u64, 12);
+        assert!(stats[1].as_arr().unwrap().is_empty());
+        // The diff engine reads this exact shape back.
+        let cells = msc_obs::diff::parse_report_cells(&r.to_json()).unwrap();
+        assert_eq!(cells.rows.len(), 1, "display-only rows are invisible to diff");
+        assert_eq!(cells.rows[0].0, "los/ble/2");
+        assert_eq!(cells.rows[0].1[1].p.clusters, 12);
+    }
+
+    #[test]
+    fn ci_render_appends_halfwidth_column_only_on_request() {
+        let mut r = Report::new("t", &["proto", "per"]);
+        r.keyed_row("k", &["BLE".into(), "0.0%".into()]);
+        r.stat("per", 0, 12);
+        r.stat_clustered("ber", 30, 3000, 1000);
+        let plain = r.render();
+        assert!(!plain.contains("±95%"));
+        let ci = r.render_ci();
+        assert!(ci.contains("±95%"));
+        assert!(ci.contains("per±0."), "{ci}");
+        assert!(ci.contains('?'), "12-trial PER is undecided: {ci}");
+        assert!(ci.contains('✓'), "1000-cluster BER is converged: {ci}");
+        // Same counts → byte-identical CI render (the determinism
+        // contract extends to the ± column).
+        assert_eq!(ci, r.render_ci());
     }
 }

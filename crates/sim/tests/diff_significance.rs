@@ -1,0 +1,89 @@
+//! Acceptance tests for the statistics → archive → diff chain:
+//!
+//! * a seed-only re-run of a real experiment classifies as all-NOISE
+//!   (`paper diff` exit 0) — the Wilson intervals absorb seed wobble;
+//! * an artificially perturbed run (`MSC_PERTURB_MARGIN_DB` shifts
+//!   every receiver's implementation margin) classifies SIGNIFICANT
+//!   (exit 1);
+//! * `--ci` renders stay byte-identical across thread counts, like
+//!   every other report.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn paper(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_paper"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("run paper binary")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("msc_diff_sig_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn seed_rerun_is_noise_and_perturbation_is_significant() {
+    let dir = tmpdir("fig13");
+    let out_dir = dir.to_str().unwrap();
+
+    // Two clean runs of the same experiment differing only in seed.
+    for seed in ["42", "43"] {
+        let out = paper(&["fig13", "12", seed, "--no-progress", "--metrics-out", out_dir], &[]);
+        assert!(out.status.success(), "run failed: {}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    // Seed-only movement must be all NOISE with exit code 0.
+    let out = paper(&["diff", "--baseline", out_dir], &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "seed-only rerun flagged as regression:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("0 SIGNIFICANT"), "summary: {stdout}");
+    assert!(stdout.contains("NOISE"), "summary: {stdout}");
+
+    // A genuinely shifted operating point: +6 dB implementation margin
+    // flips edge-distance PER cells from ~0 to ~1, far beyond any
+    // 99%-interval overlap.
+    let out = paper(
+        &["fig13", "12", "43", "--no-progress", "--metrics-out", out_dir],
+        &[("MSC_PERTURB_MARGIN_DB", "6")],
+    );
+    assert!(out.status.success(), "perturbed run failed");
+
+    let out = paper(&["diff", "--baseline", out_dir, "--only-moved"], &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "perturbed run must exit 1:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("SIGNIFICANT"), "diff output: {stdout}");
+
+    // The perturbed run's key differs from the clean runs' (the knob
+    // feeds the config hash), so the archive holds three distinct runs.
+    let index = std::fs::read_to_string(dir.join("archive/index.jsonl")).expect("archive index");
+    assert_eq!(index.lines().count(), 3, "index:\n{index}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ci_reports_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = paper(&["fig13", "4", "42", "--ci", "--no-progress", "--threads", threads], &[]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let one = run("1");
+    let eight = run("8");
+    assert!(one.contains('±'), "--ci must add interval columns:\n{one}");
+    assert_eq!(one, eight, "--ci render must not depend on thread count");
+}
