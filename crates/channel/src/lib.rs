@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod awgn;
+pub mod batch;
 pub mod fading;
 pub mod link;
 pub mod materials;

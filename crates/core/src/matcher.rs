@@ -290,6 +290,9 @@ impl Matcher {
         if self.mode == MatchMode::FullPrecision {
             return self.max_scores_sliding(acquired, lo, hi);
         }
+        if self.mode == MatchMode::Quantized {
+            return self.max_scores_packed(acquired, lo, hi);
+        }
         let mut best: Option<Scores> = None;
         for start in lo..=hi {
             if let Some(s) = self.score_window(&acquired[start..]) {
@@ -340,6 +343,53 @@ impl Matcher {
             }
         }
         any.then_some(out)
+    }
+
+    /// Quantized lag search restructured for the batched trial engine's
+    /// memory behavior: quantize-and-pack every candidate window once
+    /// into pooled per-thread scratch, then score all windows per
+    /// template load (template-outer) instead of all templates per
+    /// window. Bit-identical to the window-outer loop in
+    /// [`Matcher::score_window`] — each offset's DC still comes from its
+    /// own preamble, so the packed words are unchanged, and the
+    /// per-protocol max over offsets commutes with the loop order.
+    fn max_scores_packed(&self, acquired: &[f64], lo: usize, hi: usize) -> Option<Scores> {
+        use msc_dsp::corr::{dc_estimate, PackedBits};
+        thread_local! {
+            static PACK_SCRATCH: std::cell::RefCell<(Vec<PackedBits>, Vec<f64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        let cfg = self.bank.config();
+        PACK_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (packs, scores) = &mut *scratch;
+            let mut n = 0usize;
+            for start in lo..=hi {
+                let window = &acquired[start..];
+                if window.len() < cfg.total() {
+                    break; // windows only shrink with start
+                }
+                let dc = dc_estimate(&window[..cfg.l_p]);
+                if packs.len() == n {
+                    packs.push(PackedBits::empty());
+                }
+                packs[n].pack_into(&window[cfg.l_p..cfg.total()], dc);
+                n += 1;
+            }
+            if n == 0 {
+                return None;
+            }
+            if scores.len() < n {
+                scores.resize(n, 0.0);
+            }
+            let mut out = Scores::default();
+            for t in self.bank.templates() {
+                t.packed.corr_norm_many(&packs[..n], &mut scores[..n]);
+                let best = scores[..n].iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v));
+                out.set(t.protocol, best);
+            }
+            Some(out)
+        })
     }
 
     /// Blind identification (argmax).
@@ -468,6 +518,52 @@ mod tests {
     fn short_window_is_rejected() {
         let m = matcher(MatchMode::FullPrecision);
         assert!(m.score_window(&[0.1; 10]).is_none());
+    }
+
+    #[test]
+    fn packed_lag_search_is_bit_identical_to_window_outer_loop() {
+        // The template-outer fast path must reproduce the legacy
+        // per-offset score_window fold exactly, including truncated
+        // windows near the end of the buffer and with observability off
+        // (score_acquired_at only adds metrics around best_over_lags).
+        let m = matcher(MatchMode::Quantized);
+        let fe = FrontEnd::prototype(SampleRate::ADC_FULL);
+        let mut rng = StdRng::seed_from_u64(117);
+        let total = m.bank().config().total();
+        for p in Protocol::ALL {
+            let acq = fe.acquire(&mut rng, &canonical_waveform(p), -2.0);
+            for start in [0usize, 3, acq.len().saturating_sub(total + 1)] {
+                let fast = m.score_acquired_at(&acq, start);
+                // Window-outer reference, same clamp as best_over_lags.
+                let lag = m.lag_search;
+                let lo = start.saturating_sub(lag).min(acq.len());
+                let hi = (start + lag).min(acq.len());
+                let mut slow: Option<Scores> = None;
+                for s in lo..=hi {
+                    if let Some(sc) = m.score_window(&acq[s..]) {
+                        let mut acc = slow.unwrap_or(sc);
+                        for q in Protocol::ALL {
+                            if sc.get(q) > acc.get(q) {
+                                acc.set(q, sc.get(q));
+                            }
+                        }
+                        slow = Some(acc);
+                    }
+                }
+                match (fast, slow) {
+                    (Some(f), Some(s)) => {
+                        for q in Protocol::ALL {
+                            assert_eq!(
+                                f.get(q).to_bits(),
+                                s.get(q).to_bits(),
+                                "{p} start {start} protocol {q}"
+                            );
+                        }
+                    }
+                    (f, s) => assert_eq!(f.is_some(), s.is_some(), "{p} start {start}"),
+                }
+            }
+        }
     }
 
     #[test]

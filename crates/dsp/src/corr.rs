@@ -352,13 +352,28 @@ impl PackedBits {
     /// Quantizes and packs in one pass, with the same tie rule as
     /// [`sign_quantize`]: `x >= dc` sets the bit (+1).
     pub fn from_signal(signal: &[f64], dc: f64) -> Self {
-        let mut words = vec![0u64; signal.len().div_ceil(64)];
+        let mut packed = PackedBits::empty();
+        packed.pack_into(signal, dc);
+        packed
+    }
+
+    /// An empty packed sequence, ready for [`PackedBits::pack_into`].
+    pub fn empty() -> Self {
+        PackedBits { words: Vec::new(), len: 0 }
+    }
+
+    /// [`PackedBits::from_signal`] into this instance, reusing the word
+    /// buffer — the allocation-free path for pooled scratch that packs
+    /// a new window every call (the matcher's batched lag search).
+    pub fn pack_into(&mut self, signal: &[f64], dc: f64) {
+        self.words.clear();
+        self.words.resize(signal.len().div_ceil(64), 0u64);
         for (i, &x) in signal.iter().enumerate() {
             if x >= dc {
-                words[i / 64] |= 1u64 << (i % 64);
+                self.words[i / 64] |= 1u64 << (i % 64);
             }
         }
-        PackedBits { words, len: signal.len() }
+        self.len = signal.len();
     }
 
     /// Number of packed signs.
@@ -400,6 +415,17 @@ impl PackedBits {
             return 0.0;
         }
         self.corr(other) as f64 / self.len as f64
+    }
+
+    /// Scores `self` (a packed template) against many packed queries in
+    /// one pass: `out[i] = self.corr_norm(&queries[i])`. The template
+    /// words stay hot in cache across all queries, which is the point
+    /// of the template-outer loop order in the batched matcher.
+    pub fn corr_norm_many(&self, queries: &[PackedBits], out: &mut [f64]) {
+        assert!(out.len() >= queries.len(), "output slice too short");
+        for (q, o) in queries.iter().zip(out.iter_mut()) {
+            *o = self.corr_norm(q);
+        }
     }
 }
 
@@ -634,5 +660,35 @@ mod tests {
         assert_eq!(rms_about(&[], 0.0), 0.0);
         assert_eq!(quantized_corr_norm(&[], &[]), 0.0);
         assert!(PackedBits::from_signs(&[]).is_empty());
+    }
+
+    #[test]
+    fn pack_into_matches_from_signal_and_reuses_capacity() {
+        let long = test_signal(300, 9);
+        let short = test_signal(70, 10);
+        let mut scratch = PackedBits::empty();
+        for (sig, dc) in [(&long, 0.1), (&short, -0.2), (&long, 0.0)] {
+            scratch.pack_into(sig, dc);
+            let fresh = PackedBits::from_signal(sig, dc);
+            assert_eq!(scratch.len(), fresh.len());
+            assert_eq!(scratch.corr(&fresh), fresh.len() as i32, "not bit-identical");
+        }
+        // Shrinking from 300 to 70 samples must not leave stale high
+        // words that change correlations.
+        scratch.pack_into(&short, 0.0);
+        let other = PackedBits::from_signal(&long[..70], 0.0);
+        assert_eq!(scratch.corr(&other), PackedBits::from_signal(&short, 0.0).corr(&other));
+    }
+
+    #[test]
+    fn corr_norm_many_matches_single_query_scoring() {
+        let template = PackedBits::from_signal(&test_signal(128, 3), 0.0);
+        let queries: Vec<PackedBits> =
+            (0..7).map(|s| PackedBits::from_signal(&test_signal(128, 20 + s), 0.05)).collect();
+        let mut out = vec![0.0; queries.len()];
+        template.corr_norm_many(&queries, &mut out);
+        for (q, &got) in queries.iter().zip(&out) {
+            assert_eq!(got.to_bits(), template.corr_norm(q).to_bits());
+        }
     }
 }

@@ -72,7 +72,7 @@ impl Fft {
         // generic form degenerates to 1–2 inner iterations per chunk
         // and the loop machinery dominates the arithmetic.
         #[cfg(target_arch = "x86_64")]
-        let use_avx = avx_available();
+        let use_avx = crate::simd::avx_available();
         for tw in &self.stage_twiddles {
             let half = tw.len();
             match half {
@@ -140,15 +140,6 @@ impl Fft {
         self.inverse(&mut v);
         v
     }
-}
-
-/// Is the AVX butterfly kernel usable on this machine? Checked once per
-/// transform; `is_x86_feature_detected!` caches, but hoisting keeps the
-/// atomic load out of the per-chunk loop.
-#[cfg(target_arch = "x86_64")]
-#[inline]
-fn avx_available() -> bool {
-    std::arch::is_x86_feature_detected!("avx")
 }
 
 /// One butterfly stage over matched `lo`/`hi` halves with contiguous

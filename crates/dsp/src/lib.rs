@@ -18,6 +18,7 @@ pub mod fir;
 pub mod plan;
 pub mod rate;
 pub mod resample;
+pub mod simd;
 pub mod stats;
 pub mod units;
 

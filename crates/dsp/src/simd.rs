@@ -1,0 +1,78 @@
+//! Shared runtime SIMD capability detection.
+//!
+//! Every vectorized kernel in the workspace (the FFT butterfly, the
+//! batched channel kernels in `msc-channel`) gates on the same two
+//! probes. `is_x86_feature_detected!` already caches internally, but it
+//! still costs an atomic load plus a branch per call; hoisting the
+//! probe into a `OnceLock` makes the answer one relaxed load and keeps
+//! the detection logic — including the FMA requirement for the AVX2
+//! kernels — in one place instead of copied into every kernel file.
+//!
+//! On non-x86 targets both probes return `false` and callers fall back
+//! to their scalar paths.
+
+#[cfg(target_arch = "x86_64")]
+use std::sync::OnceLock;
+
+/// True when the AVX (256-bit float) kernels are usable on this
+/// machine. Probed once per process.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn avx_available() -> bool {
+    static AVX: OnceLock<bool> = OnceLock::new();
+    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+/// True when the AVX2 + FMA kernels are usable on this machine. The
+/// workspace's AVX2 kernels (vectorized `ln`/`sincos` in the batched
+/// AWGN path) use fused multiply-adds, so the probe requires both
+/// features. Probed once per process.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn avx2_available() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Non-x86 fallback: no AVX.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn avx_available() -> bool {
+    false
+}
+
+/// Non-x86 fallback: no AVX2.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn avx2_available() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_stable_and_consistent() {
+        // Two calls must agree (OnceLock caches the probe) and AVX2+FMA
+        // implies AVX on every real microarchitecture.
+        assert_eq!(avx_available(), avx_available());
+        assert_eq!(avx2_available(), avx2_available());
+        if avx2_available() {
+            assert!(avx_available(), "AVX2+FMA without AVX is not a real target");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn matches_direct_detection() {
+        assert_eq!(avx_available(), std::arch::is_x86_feature_detected!("avx"));
+        assert_eq!(
+            avx2_available(),
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        );
+    }
+}

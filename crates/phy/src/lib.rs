@@ -20,6 +20,7 @@ pub mod ble;
 pub mod conv;
 pub mod crc;
 pub mod dsss;
+pub mod fastsync;
 pub mod gfsk;
 pub mod interleave;
 pub mod ofdm;

@@ -290,6 +290,53 @@ impl ZigBeeDemodulator {
         Some((off, accs[off].arg()))
     }
 
+    /// [`Self::find_sync`] restricted to frame starts in `0..=radius`:
+    /// the direct normalized correlation over a handful of offsets
+    /// replaces the full-buffer FFT matched filter when the caller
+    /// (the simulation engine, via [`crate::fastsync`]) knows the frame
+    /// is aligned to the buffer head. Scoring — normalization, the 0.6
+    /// threshold, earliest-within-2%-of-max selection — mirrors
+    /// `find_sync` exactly, so an in-window frame yields the same
+    /// decision; out-of-window frames return `None` and the caller
+    /// falls back to the full search.
+    fn find_sync_windowed(&self, samples: &[Complex64], radius: usize) -> Option<(usize, f64)> {
+        let shr = self.shr_waveform();
+        let probe = shr.samples();
+        if samples.len() < probe.len() {
+            return None;
+        }
+        let max_off = radius.min(samples.len() - probe.len());
+        let probe_energy: f64 = probe.iter().map(|s| s.norm_sqr()).sum();
+        let mut accs = [Complex64::new(0.0, 0.0); 33];
+        let mut scores = [0.0f64; 33];
+        let max_off = max_off.min(accs.len() - 1);
+        let mut max_score = 0.0f64;
+        for (off, (acc_slot, score_slot)) in
+            accs.iter_mut().zip(scores.iter_mut()).enumerate().take(max_off + 1)
+        {
+            let window = &samples[off..off + probe.len()];
+            let mut acc = Complex64::new(0.0, 0.0);
+            let mut energy = 0.0f64;
+            for (s, p) in window.iter().zip(probe) {
+                acc = acc + *s * p.conj();
+                energy += s.norm_sqr();
+            }
+            let denom = (probe_energy * energy).sqrt();
+            let score = if denom > 1e-20 { acc.abs() / denom } else { 0.0 };
+            *acc_slot = acc;
+            *score_slot = score;
+            max_score = max_score.max(score);
+        }
+        if max_score <= 0.6 {
+            return None;
+        }
+        let off = scores[..=max_off]
+            .iter()
+            .position(|&s| s >= 0.98 * max_score)
+            .expect("max exists");
+        Some((off, accs[off].arg()))
+    }
+
     /// Channel-phase estimate from correlating the known SHR waveform at
     /// an exact offset.
     fn phase_at(&self, samples: &[Complex64], t0: usize) -> Option<f64> {
@@ -392,7 +439,13 @@ impl ZigBeeDemodulator {
         if buf.mean_power() < 1e-20 {
             return Err(DecodeError::SignalTooWeak);
         }
-        let cfo = self.estimate_cfo_hz(buf);
+        // Under an engine sync-window hint the carrier is known to be
+        // offset-free (the simulation pipeline applies none), so the
+        // CFO estimator — which would only chase noise, and whose
+        // noise-triggered correction clones the whole buffer — is
+        // skipped along with the full-buffer matched-filter search.
+        let hint = crate::fastsync::window();
+        let cfo = if hint.is_some() { 0.0 } else { self.estimate_cfo_hz(buf) };
         let corrected;
         let buf = if cfo.abs() > 50.0 {
             corrected = buf.freq_shift(-cfo);
@@ -401,7 +454,13 @@ impl ZigBeeDemodulator {
             buf
         };
         let samples = buf.samples();
-        let (t0_coarse, _) = self.find_sync(samples).ok_or(DecodeError::SyncNotFound)?;
+        let (t0_coarse, _) = match hint {
+            Some(radius) => self
+                .find_sync_windowed(samples, radius)
+                .or_else(|| self.find_sync(samples)),
+            None => self.find_sync(samples),
+        }
+        .ok_or(DecodeError::SyncNotFound)?;
         let sps = self.config.samples_per_symbol();
         // Fine timing: the matched-filter peak can land a sample or two
         // off under noise, which scrambles the I/Q chip sampling grid.
@@ -503,7 +562,7 @@ mod tests {
     use super::*;
     use crate::bits::random_bytes;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn pn_table_properties() {
@@ -566,6 +625,52 @@ mod tests {
         samples.extend(tx.samples().iter().map(|&s| s * h));
         let rx = IqBuf::new(samples, tx.rate());
         let dec = ZigBeeDemodulator::new(cfg).demodulate(&rx).expect("decode");
+        assert!(dec.fcs_ok);
+        assert_eq!(dec.psdu, psdu);
+    }
+
+    #[test]
+    fn windowed_sync_matches_full_decode_on_aligned_noisy_frames() {
+        let cfg = ZigBeeConfig::default();
+        let demod = ZigBeeDemodulator::new(cfg);
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let psdu = random_bytes(&mut rng, 30);
+            let tx = ZigBeeModulator::new(cfg).modulate(&psdu);
+            let mut noisy: Vec<Complex64> = tx.samples().to_vec();
+            for s in noisy.iter_mut() {
+                let n = Complex64::new(rng.gen_range(-0.25..0.25), rng.gen_range(-0.25..0.25));
+                *s = *s + n;
+            }
+            let rx = IqBuf::new(noisy, tx.rate());
+            let full = demod.demodulate(&rx);
+            let hinted = crate::fastsync::with_window(8, || demod.demodulate(&rx));
+            match (full, hinted) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.psdu, b.psdu, "seed {seed}");
+                    assert_eq!(a.fcs_ok, b.fcs_ok, "seed {seed}");
+                    assert_eq!(a.phr_start, b.phr_start, "seed {seed}");
+                }
+                (a, b) => panic!("seed {seed}: full {a:?} vs hinted {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_sync_falls_back_when_frame_is_out_of_window() {
+        // Frame starts 200 samples in — far outside the 8-sample hint
+        // window — so the hinted decode must fall back to the full
+        // search and still succeed.
+        let mut rng = StdRng::seed_from_u64(63);
+        let psdu = random_bytes(&mut rng, 20);
+        let cfg = ZigBeeConfig::default();
+        let tx = ZigBeeModulator::new(cfg).modulate(&psdu);
+        let mut samples = vec![Complex64::ZERO; 200];
+        samples.extend_from_slice(tx.samples());
+        let rx = IqBuf::new(samples, tx.rate());
+        let dec = crate::fastsync::with_window(8, || {
+            ZigBeeDemodulator::new(cfg).demodulate(&rx).expect("fallback decode")
+        });
         assert!(dec.fcs_ok);
         assert_eq!(dec.psdu, psdu);
     }

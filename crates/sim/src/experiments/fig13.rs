@@ -2,18 +2,43 @@
 //! Paper: maximal ranges 28 m (WiFi b/n), 22 m (ZigBee), 20 m (BLE); low
 //! BERs out to 16 m.
 
-use crate::pipeline::{run_packets, AnyLink, Geometry};
+use crate::pipeline::{run_packets_stopping, AnyLink, Geometry, PacketOutcome, StopPolicy};
 use crate::report::{f1, pct, Report};
 use crate::throughput::{goodput, ExcitationProfile};
 use msc_core::overlay::Mode;
+use msc_obs::stats::{Proportion, Z99};
 use msc_phy::protocol::Protocol;
 
 /// The distances swept (meters).
 pub const DISTANCES: [f64; 8] = [2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0];
 
+/// Early-stop check for one deployment cell: stop once the 99% Wilson
+/// intervals put the verdict (`per < 0.5 && ber < 0.3`, the in-range
+/// rule below) beyond doubt in *either* direction — confidently in
+/// range (both upper bounds clear the boundary) or confidently out
+/// (either lower bound crosses it). Otherwise keep simulating.
+fn verdict_settled(outs: &[PacketOutcome]) -> bool {
+    let m = outs.len() as u64;
+    let delivered = outs.iter().filter(|o| o.decoded).count() as u64;
+    let (errs, bits) = outs
+        .iter()
+        .filter(|o| o.decoded)
+        .fold((0u64, 0u64), |a, o| (a.0 + o.tag_errors as u64, a.1 + o.tag_bits as u64));
+    let per = Proportion::new(m - delivered, m).wilson(Z99);
+    let ber = Proportion::clustered(errs, bits, delivered).wilson(Z99);
+    let in_range = per.hi < 0.5 && ber.hi < 0.3;
+    let out_of_range = per.lo > 0.5 || ber.lo > 0.3;
+    in_range || out_of_range
+}
+
 /// Shared engine for Figs. 13 (LoS) and 14 (NLoS).
 pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
     let n = n.max(6);
+    let floor = crate::experiments::REGISTRY
+        .iter()
+        .find(|e| e.id == if nlos { "fig14" } else { "fig13" })
+        .map(|e| e.min_n)
+        .unwrap_or(6);
     let title = if nlos {
         "fig14 — NLoS backscatter RSSI / tag BER / aggregate throughput vs distance"
     } else {
@@ -28,6 +53,10 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
         let profile = ExcitationProfile::paper_default(p);
         let mut max_range = 0.0f64;
         let mut counter = msc_rx::BerCounter::new();
+        // Adjacent distances share channel draws per trial index
+        // (common random numbers): the sweep axis is stripped from the
+        // CRN group, so range comparisons see the same channel luck.
+        let crn_group = format!("{stage}/{}/crn", p.label());
         for d in DISTANCES {
             let geo = if nlos { Geometry::nlos(d) } else { Geometry::los(d) };
             let mut delivered = 0usize;
@@ -35,7 +64,14 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
             let mut tag_bits = 0usize;
             let mut prod_ok_acc = 0.0;
             let cell = format!("{stage}/{}/{d}", p.label());
-            for out in run_packets(&link, &geo, Mode::Mode1, 16, n, seed, &cell) {
+            let policy = StopPolicy {
+                floor: floor.min(n),
+                crn_group: Some(&crn_group),
+                decide: &verdict_settled,
+            };
+            let outs = run_packets_stopping(&link, &geo, Mode::Mode1, 16, n, seed, &cell, &policy);
+            let m = outs.len();
+            for out in &outs {
                 if out.decoded {
                     delivered += 1;
                     tag_err += out.tag_errors;
@@ -47,10 +83,10 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
                     counter.record_lost(out.tag_bits);
                 }
             }
-            let per = 1.0 - delivered as f64 / n as f64;
+            let per = 1.0 - delivered as f64 / m as f64;
             let ber = if tag_bits > 0 { tag_err as f64 / tag_bits as f64 } else { 1.0 };
             let tag_ok = (1.0 - per) * (1.0 - ber);
-            let prod_ok = prod_ok_acc / n as f64;
+            let prod_ok = prod_ok_acc / m as f64;
             let g = goodput(&profile, Mode::Mode1, prod_ok, tag_ok);
             if per < 0.5 && ber < 0.3 {
                 max_range = d;
@@ -66,10 +102,12 @@ pub fn run_deployment(n: usize, seed: u64, nlos: bool) -> Report {
                     f1(g.aggregate_bps() / 1e3),
                 ],
             );
-            report.stat("per", (n - delivered) as u64, n as u64);
+            report.stat("per", (m - delivered) as u64, m as u64);
             // Bit errors within a packet share one fading draw, so the
             // effective sample count is delivered packets, not bits.
             report.stat_clustered("tag_ber", tag_err as u64, tag_bits as u64, delivered as u64);
+            // Effective trial count: m < n marks an early-stopped cell.
+            report.stat("n_used", m as u64, n as u64);
         }
         counter.export_obs(p.label(), stage);
         msc_obs::metrics::gauge_set("pipe.max_range_m", p.label(), stage, max_range);

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod engine;
 pub mod experiments;
 pub mod idtraces;
 pub mod pipeline;
@@ -21,6 +22,6 @@ pub mod throughput;
 pub mod traffic;
 pub mod wavecache;
 
-pub use pipeline::{AnyLink, Geometry, PacketOutcome};
+pub use pipeline::{AnyLink, Geometry, PacketOutcome, StopPolicy, TrialBatch};
 pub use report::Report;
 pub use wavecache::{set_waveform_cache, CellExcitation};

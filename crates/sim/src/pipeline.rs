@@ -391,6 +391,188 @@ thread_local! {
     /// packet to packet.
     static PKT_BUF: std::cell::RefCell<IqBuf> =
         std::cell::RefCell::new(IqBuf::empty(msc_dsp::SampleRate::hz(1.0)));
+
+    /// Per-thread [`TrialBatch`] pool for the batched engine: lane
+    /// buffers, RNG vectors, and the flat tag-bit store are reused
+    /// batch to batch, so the steady-state materialize + channel loop
+    /// performs zero allocations (asserted by `alloc_guard`).
+    static BATCH_POOL: std::cell::RefCell<TrialBatch> = std::cell::RefCell::new(TrialBatch::new());
+}
+
+/// Sync-window radius (samples) handed to demodulators via
+/// [`msc_phy::fastsync`] on the batched path: the engine's trial
+/// buffers carry the frame at offset zero with at most a couple of
+/// samples of matched-filter ambiguity under noise.
+const FAST_SYNC_RADIUS: usize = 8;
+
+/// A structure-of-arrays batch of Monte-Carlo trials from one cell:
+/// `count` IQ lanes modulated from the shared cached excitation, each
+/// with its own tag-bit draw and RNG streams.
+///
+/// Per-trial randomness is preserved exactly: lane `l` of a batch
+/// starting at trial `start` seeds its RNG with
+/// `derive_seed(seed, cell, start + l)`, the same stream the legacy
+/// per-trial path uses, so outcomes remain a function of
+/// `(seed, cell, index)` at any batch width and thread count.
+///
+/// The channel stream is either the continuation of the lane's tag-bit
+/// stream (legacy order: tag bits → fading → noise) or, when a
+/// common-random-number group is supplied, a stream derived from the
+/// group label instead of the cell label — sweep-axis neighbors (e.g.
+/// the distance grid of Fig. 13) then share channel realizations per
+/// trial index, which cancels channel luck out of adjacent-cell
+/// comparisons while tag payloads stay cell-specific.
+pub struct TrialBatch {
+    lanes: Vec<IqBuf>,
+    rngs: Vec<StdRng>,
+    ch_rngs: Vec<StdRng>,
+    tag_bits: Vec<u8>,
+    cap: usize,
+    count: usize,
+}
+
+impl Default for TrialBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrialBatch {
+    /// An empty batch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        TrialBatch {
+            lanes: Vec::new(),
+            rngs: Vec::new(),
+            ch_rngs: Vec::new(),
+            tag_bits: Vec::new(),
+            cap: 0,
+            count: 0,
+        }
+    }
+
+    /// Number of trials currently materialized.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Fills `count` lanes with trials `start..start + count`: per-lane
+    /// RNG init, tag-bit draws, and overlay modulation of the shared
+    /// excitation into the pooled lane buffers. Allocation-free once
+    /// the pool has warmed up to this batch width and waveform length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn materialize(
+        &mut self,
+        modulator: &TagOverlayModulator,
+        exc: &crate::wavecache::CellExcitation,
+        seed: u64,
+        cellh: u64,
+        crn_hash: Option<u64>,
+        start: u64,
+        count: usize,
+    ) {
+        self.cap = exc.tag_capacity;
+        self.count = count;
+        self.tag_bits.clear();
+        self.rngs.clear();
+        self.ch_rngs.clear();
+        while self.lanes.len() < count {
+            self.lanes.push(IqBuf::empty(exc.carrier.rate()));
+        }
+        for l in 0..count {
+            let i = start + l as u64;
+            let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cellh, i));
+            for _ in 0..self.cap {
+                let bit: u8 = rng.gen_range(0..=1);
+                self.tag_bits.push(bit);
+            }
+            let ch = match crn_hash {
+                Some(h) => StdRng::seed_from_u64(msc_par::derive_seed(seed, h, i)),
+                None => rng.clone(),
+            };
+            self.rngs.push(rng);
+            self.ch_rngs.push(ch);
+            let bits = &self.tag_bits[l * self.cap..(l + 1) * self.cap];
+            modulator.modulate_into(&exc.carrier, exc.payload_start, bits, &mut self.lanes[l]);
+        }
+    }
+
+    /// Pushes every lane through the uplink channel in one pass per
+    /// stage — batched normalize, CFO shift, flat fading, AWGN — using
+    /// the [`msc_channel::batch`] kernels (AVX2 where available).
+    /// Allocation-free.
+    pub fn apply_channel(&mut self, imp: Impairments) {
+        let lanes = &mut self.lanes[..self.count];
+        msc_channel::batch::normalize_batch(lanes);
+        if imp.cfo_hz != 0.0 {
+            msc_channel::batch::freq_shift_batch(lanes, imp.cfo_hz);
+        }
+        msc_channel::batch::fading_batch(imp.fading, &mut self.ch_rngs, lanes);
+        msc_channel::batch::add_noise_batch(&mut self.ch_rngs, lanes, 1.0 / db_to_lin(imp.snr_db));
+    }
+
+    /// Decodes and scores every lane (under the engine's sync-window
+    /// hint), appending outcomes to `out` in trial order.
+    pub fn decode_into(
+        &self,
+        link: &AnyLink,
+        exc: &crate::wavecache::CellExcitation,
+        snr_db: f64,
+        out: &mut Vec<PacketOutcome>,
+    ) {
+        let label = link.protocol().label();
+        for l in 0..self.count {
+            metrics::hist_observe("pipe.snr_db", label, "uplink", snr_db, buckets::SNR_DB);
+            metrics::counter_add("pipe.packets", label, "", 1);
+            let result = metrics::time_stage(label, "decode", || {
+                msc_phy::fastsync::with_window(FAST_SYNC_RADIUS, || {
+                    link.decode(&self.lanes[l], exc.productive.len())
+                })
+            });
+            let bits = &self.tag_bits[l * self.cap..(l + 1) * self.cap];
+            let outcome = score_decode(label, result, bits, &exc.productive);
+            metrics::hist_observe("pipe.tag_ber", label, "", outcome.tag_ber(), buckets::BER);
+            msc_obs::event!(
+                "pipe.packet",
+                protocol = label,
+                snr_db = format_args!("{snr_db:.1}"),
+                decoded = outcome.decoded,
+                tag_ber = format_args!("{:.3}", outcome.tag_ber())
+            );
+            out.push(outcome);
+        }
+    }
+}
+
+/// Adaptive early-stopping policy for [`run_packets_stopping`].
+pub struct StopPolicy<'a> {
+    /// Minimum trials before the first stop check (the experiment's
+    /// `min_n` from the registry).
+    pub floor: usize,
+    /// Common-random-number group label: cells passing the same group
+    /// share per-index channel RNG streams on the batched engine.
+    /// Typically the cell label minus the sweep axis.
+    pub crn_group: Option<&'a str>,
+    /// Returns `true` when the outcomes so far decide the cell's
+    /// verdict beyond doubt (both directions must be covered — e.g.
+    /// "confidently in range or confidently out").
+    pub decide: &'a (dyn Fn(&[PacketOutcome]) -> bool + Sync),
+}
+
+/// Trial-count checkpoints for the early-stopping wave schedule: start
+/// at `floor`, grow ×1.5, finish at `n`. Thread-count independent by
+/// construction, so stopped cells report identically at any
+/// parallelism (`n = 12, floor = 6` → `6, 9, 12`).
+fn checkpoints(n: usize, floor: usize) -> Vec<usize> {
+    let mut plan = Vec::new();
+    let mut c = floor.clamp(1, n.max(1));
+    loop {
+        plan.push(c);
+        if c >= n {
+            break;
+        }
+        c = (((c as f64) * 1.5).round() as usize).max(c + 1).min(n);
+    }
+    plan
 }
 
 /// Runs one trial of an experiment cell against the cell's shared
@@ -463,6 +645,40 @@ pub fn run_packets(
     seed: u64,
     cell: &str,
 ) -> Vec<PacketOutcome> {
+    run_packets_inner(link, geometry, mode, n_productive, n, seed, cell, None)
+}
+
+/// [`run_packets`] with adaptive early stopping: trials run in waves
+/// along the [`checkpoints`] schedule and the cell halts — never below
+/// `policy.floor`, and only when [`crate::engine::early_stop`] is on —
+/// once `policy.decide` reports the verdict settled. Trials that do
+/// run are bit-identical to a full run's prefix, so stopping changes
+/// only how many trials a cell consumes, not what any trial computes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_packets_stopping(
+    link: &AnyLink,
+    geometry: &Geometry,
+    mode: Mode,
+    n_productive: usize,
+    n: usize,
+    seed: u64,
+    cell: &str,
+    policy: &StopPolicy,
+) -> Vec<PacketOutcome> {
+    run_packets_inner(link, geometry, mode, n_productive, n, seed, cell, Some(policy))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_packets_inner(
+    link: &AnyLink,
+    geometry: &Geometry,
+    mode: Mode,
+    n_productive: usize,
+    n: usize,
+    seed: u64,
+    cell: &str,
+    policy: Option<&StopPolicy>,
+) -> Vec<PacketOutcome> {
     // Replay fast path: when a flight-recorder replay targets one
     // specific trial, every other cell (and every other index) is
     // skipped outright — per-trial seed derivation means the target
@@ -484,31 +700,93 @@ pub fn run_packets(
     let cellh = msc_par::hash_label(cell);
     let flight = msc_obs::flight::armed();
     let experiment = if flight { metrics::current_experiment() } else { String::new() };
-    let out = msc_par::par_map_indexed(n, |i| {
-        if let Some(ti) = target_index {
-            if i as u64 != ti {
-                return placeholder_outcome();
+
+    // The flight recorder and replay instrument the per-trial path and
+    // must see every trial, so both force the legacy engine at full n.
+    let batch = crate::engine::batch();
+    let batched = batch > 1 && !flight && target_index.is_none();
+    let stopping = policy
+        .filter(|_| crate::engine::early_stop() && !flight && target_index.is_none());
+    let plan = match stopping {
+        Some(p) => checkpoints(n, p.floor),
+        None => vec![n],
+    };
+    // CRN rides the batched engine (whose results are already allowed
+    // to differ from legacy); with `--no-early-stop` the same streams
+    // are used, so stopping changes trial counts only.
+    let crn_hash =
+        if batched { policy.and_then(|p| p.crn_group).map(msc_par::hash_label) } else { None };
+    let snr = geometry.uplink_snr_db(link.protocol());
+
+    let mut outs: Vec<PacketOutcome> = Vec::with_capacity(n);
+    for &target in &plan {
+        let count = target - outs.len();
+        let start = outs.len() as u64;
+        if count == 0 {
+            continue;
+        }
+        if batched {
+            let chunks = msc_par::par_map_indexed(count.div_ceil(batch), |b| {
+                let lo = start + (b * batch) as u64;
+                let len = batch.min(count - b * batch);
+                BATCH_POOL.with(|tb| {
+                    let mut tb = tb.borrow_mut();
+                    let modulator = TagOverlayModulator::new(link.protocol(), params_for(link.protocol(), mode));
+                    metrics::time_stage(label, "modulate", || {
+                        tb.materialize(&modulator, &exc, seed, cellh, crn_hash, lo, len)
+                    });
+                    metrics::time_stage(label, "channel", || {
+                        tb.apply_channel(Impairments::snr(snr, geometry.fading))
+                    });
+                    let mut wave = Vec::with_capacity(len);
+                    tb.decode_into(link, &exc, snr, &mut wave);
+                    wave
+                })
+            });
+            for c in chunks {
+                outs.extend(c);
+            }
+        } else {
+            let wave = msc_par::par_map_indexed(count, |j| {
+                let i = start + j as u64;
+                if let Some(ti) = target_index {
+                    if i != ti {
+                        return placeholder_outcome();
+                    }
+                }
+                let derived = msc_par::derive_seed(seed, cellh, i);
+                if flight {
+                    msc_obs::flight::begin_trial(&experiment, cell, i, seed, derived, label);
+                }
+                let mut rng = StdRng::seed_from_u64(derived);
+                let outcome = run_packet_shared(&mut rng, link, geometry, mode, &exc);
+                if flight {
+                    msc_obs::flight::note_score("tag_errors", outcome.tag_errors as f64);
+                    msc_obs::flight::note_score("tag_bits", outcome.tag_bits as f64);
+                    msc_obs::flight::note_score(
+                        "productive_errors",
+                        outcome.productive_errors as f64,
+                    );
+                    msc_obs::flight::note_score(
+                        "productive_units",
+                        outcome.productive_units as f64,
+                    );
+                    msc_obs::flight::note_score("tag_ber", outcome.tag_ber());
+                    msc_obs::flight::end_trial(if outcome.decoded { "ok" } else { "decode_fail" });
+                }
+                outcome
+            });
+            outs.extend(wave);
+        }
+        if let Some(p) = stopping {
+            if outs.len() < n && (p.decide)(&outs) {
+                break;
             }
         }
-        let derived = msc_par::derive_seed(seed, cellh, i as u64);
-        if flight {
-            msc_obs::flight::begin_trial(&experiment, cell, i as u64, seed, derived, label);
-        }
-        let mut rng = StdRng::seed_from_u64(derived);
-        let outcome = run_packet_shared(&mut rng, link, geometry, mode, &exc);
-        if flight {
-            msc_obs::flight::note_score("tag_errors", outcome.tag_errors as f64);
-            msc_obs::flight::note_score("tag_bits", outcome.tag_bits as f64);
-            msc_obs::flight::note_score("productive_errors", outcome.productive_errors as f64);
-            msc_obs::flight::note_score("productive_units", outcome.productive_units as f64);
-            msc_obs::flight::note_score("tag_ber", outcome.tag_ber());
-            msc_obs::flight::end_trial(if outcome.decoded { "ok" } else { "decode_fail" });
-        }
-        outcome
-    });
+    }
     msc_obs::progress::add_cell();
-    msc_obs::progress::add_trials(n as u64);
-    out
+    msc_obs::progress::add_trials(outs.len() as u64);
+    outs
 }
 
 /// The stand-in outcome for trials a replay run skips. Never reaches a
@@ -572,6 +850,40 @@ mod tests {
             }
         }
         assert!(failures >= 4, "500 m should be far beyond range");
+    }
+
+    #[test]
+    fn checkpoint_schedule_grows_and_is_thread_independent() {
+        assert_eq!(checkpoints(12, 6), vec![6, 9, 12]);
+        assert_eq!(checkpoints(60, 6), vec![6, 9, 14, 21, 32, 48, 60]);
+        assert_eq!(checkpoints(6, 6), vec![6]);
+        assert_eq!(checkpoints(4, 6), vec![4]); // floor clamps to n
+        assert_eq!(checkpoints(2, 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn batched_outcomes_are_invariant_to_batch_width() {
+        // Any width > 1 routes through the same SoA engine with
+        // identical per-lane streams; only the chunking differs.
+        let link = AnyLink::new(Protocol::Ble, Mode::Mode1);
+        let geo = Geometry::los(12.0);
+        let runs: Vec<Vec<PacketOutcome>> = [2usize, 5, 8]
+            .iter()
+            .map(|&b| {
+                crate::engine::set_batch(b);
+                run_packets(&link, &geo, Mode::Mode1, 16, 11, 7, "test/batch-width")
+            })
+            .collect();
+        crate::engine::set_batch(crate::engine::DEFAULT_BATCH);
+        for other in &runs[1..] {
+            assert_eq!(runs[0].len(), other.len());
+            for (a, b) in runs[0].iter().zip(other) {
+                assert_eq!(a.decoded, b.decoded);
+                assert_eq!(a.tag_errors, b.tag_errors);
+                assert_eq!(a.tag_bits, b.tag_bits);
+                assert_eq!(a.productive_errors, b.productive_errors);
+            }
+        }
     }
 
     #[test]

@@ -122,10 +122,17 @@ impl Report {
     fn ci_cell(stats: &[RowStat]) -> String {
         let parts: Vec<String> = stats
             .iter()
-            .map(|s| {
+            .filter_map(|s| {
+                // `n_used` is a trial-count bookkeeping stat, not a
+                // proportion with a meaningful interval: render it only
+                // when the cell early-stopped (num < den), as a mark.
+                if s.name == "n_used" {
+                    return (s.p.num < s.p.den)
+                        .then(|| format!("n={}/{}⏹", s.p.num, s.p.den));
+                }
                 let hw = s.p.wilson(Z95).half_width();
                 let mark = if s.p.converged(CONVERGED_HALF_WIDTH) { "✓" } else { "?" };
-                format!("{}±{:.3}{}", s.name, hw, mark)
+                Some(format!("{}±{:.3}{}", s.name, hw, mark))
             })
             .collect();
         parts.join(" ")
@@ -264,6 +271,23 @@ mod tests {
         assert!(s.contains("* a note"));
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn ci_column_marks_early_stopped_cells_only() {
+        let mut r = Report::new("t", &["a"]);
+        r.row(&["full".into()]);
+        r.stat("per", 1, 12);
+        r.stat("n_used", 12, 12);
+        r.row(&["stopped".into()]);
+        r.stat("per", 9, 9);
+        r.stat("n_used", 9, 12);
+        let s = r.render_ci();
+        let full_line = s.lines().find(|l| l.starts_with("full")).unwrap();
+        let stopped_line = s.lines().find(|l| l.starts_with("stopped")).unwrap();
+        assert!(full_line.contains("per±"), "{full_line}");
+        assert!(!full_line.contains('⏹'), "{full_line}");
+        assert!(stopped_line.contains("n=9/12⏹"), "{stopped_line}");
     }
 
     #[test]

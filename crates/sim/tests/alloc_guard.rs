@@ -8,14 +8,24 @@
 //! steady-state count through `msc-obs` so regressions show up in the
 //! metrics dump, not just here.
 
-use msc_core::overlay::Mode;
+use msc_core::overlay::{params_for, Mode};
+use msc_core::TagOverlayModulator;
 use msc_phy::protocol::Protocol;
-use msc_sim::pipeline::{run_packet, run_packet_shared, AnyLink, Geometry};
+use msc_sim::pipeline::{run_packet, run_packet_shared, AnyLink, Geometry, Impairments, TrialBatch};
 use msc_sim::wavecache::CellExcitation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests in this binary: the allocation counter is
+/// process-global, so a concurrently running test would leak its
+/// allocations into another test's measured region.
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A pass-through allocator that counts alloc/realloc calls.
 struct CountingAlloc;
@@ -49,6 +59,7 @@ fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, T) {
 
 #[test]
 fn steady_state_packet_allocates_far_less_than_cold() {
+    let _serial = lock();
     // Single-threaded so the thread-local pools this thread warms are
     // the ones the measured packet uses.
     msc_par::set_threads(1);
@@ -93,4 +104,44 @@ fn steady_state_packet_allocates_far_less_than_cold() {
         "steady-state allocation gauge must be exported"
     );
     msc_par::set_threads(0);
+}
+
+#[test]
+fn batched_materialize_and_channel_are_allocation_free_when_warm() {
+    let _serial = lock();
+    // The batched engine's per-worker pool (lane buffers, RNG vectors,
+    // tag-bit store) must make the materialize → channel loop allocate
+    // exactly zero times once warmed to the batch width and waveform
+    // length. Decode is excluded: it produces owned outputs (decoded
+    // streams, outcomes) by design.
+    let p = Protocol::Ble;
+    let link = AnyLink::new(p, Mode::Mode1);
+    let geo = Geometry::los(4.0);
+    let exc = CellExcitation::prepare(&link, Mode::Mode1, 16, 42, "alloc-guard/batch");
+    let modulator = TagOverlayModulator::new(p, params_for(p, Mode::Mode1));
+    let cellh = msc_par::hash_label("alloc-guard/batch");
+    let crn = Some(msc_par::hash_label("alloc-guard/crn"));
+    let snr = geo.uplink_snr_db(p);
+    let batch = 8usize;
+
+    let mut tb = TrialBatch::new();
+    for wave in 0..2u64 {
+        tb.materialize(&modulator, &exc, 42, cellh, crn, wave * batch as u64, batch);
+        tb.apply_channel(Impairments::snr(snr, geo.fading));
+    }
+    let (steady, _) = count_allocs(|| {
+        for wave in 2..4u64 {
+            tb.materialize(&modulator, &exc, 42, cellh, crn, wave * batch as u64, batch);
+            tb.apply_channel(Impairments::snr(snr, geo.fading));
+        }
+        tb.count()
+    });
+    assert_eq!(steady, 0, "warm batch loop allocated {steady} times");
+
+    // A shorter final batch must keep reusing the same pool.
+    let (short, _) = count_allocs(|| {
+        tb.materialize(&modulator, &exc, 42, cellh, crn, 4 * batch as u64, 3);
+        tb.apply_channel(Impairments::snr(snr, geo.fading));
+    });
+    assert_eq!(short, 0, "tail batch allocated {short} times");
 }
