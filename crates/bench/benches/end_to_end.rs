@@ -86,9 +86,111 @@ fn bench_trial_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-PR ordered-rule search: greedy per step, re-scoring the full
+/// decision chain with [`rule_accuracy`] for every threshold candidate.
+/// Kept here as the baseline the incremental sweep is measured against.
+fn rescan_search(
+    data: &[msc_core::search::LabeledScores],
+    grid: &[f64],
+) -> (msc_core::OrderedRule, f64) {
+    use msc_core::matcher::OrderStep;
+    use msc_core::search::rule_accuracy;
+    use msc_core::OrderedRule;
+
+    let mut orders = Vec::new();
+    for a in 0..4 {
+        for b in 0..4 {
+            for c in 0..4 {
+                for d in 0..4 {
+                    if a != b && a != c && a != d && b != c && b != d && c != d {
+                        orders.push([
+                            Protocol::ALL[a],
+                            Protocol::ALL[b],
+                            Protocol::ALL[c],
+                            Protocol::ALL[d],
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    let mut best: Option<(OrderedRule, f64)> = None;
+    for order in orders {
+        let mut steps: Vec<OrderStep> = order
+            .iter()
+            .map(|&protocol| OrderStep { protocol, threshold: f64::INFINITY })
+            .collect();
+        for i in 0..4 {
+            let mut best_t = f64::INFINITY;
+            let mut best_acc = -1.0;
+            let mut candidates = grid.to_vec();
+            if i < 3 {
+                candidates.push(f64::INFINITY);
+            }
+            for &t in &candidates {
+                steps[i].threshold = t;
+                let acc = rule_accuracy(&OrderedRule { steps: steps.clone() }, data);
+                if acc > best_acc {
+                    best_acc = acc;
+                    best_t = t;
+                }
+            }
+            steps[i].threshold = best_t;
+        }
+        let rule = OrderedRule { steps };
+        let acc = rule_accuracy(&rule, data);
+        if best.as_ref().map(|(_, a)| acc > *a).unwrap_or(true) {
+            best = Some((rule, acc));
+        }
+    }
+    best.expect("at least one permutation")
+}
+
+fn bench_id_sweep(c: &mut Criterion) {
+    // The batched identification engine, stage by stage at the fig7
+    // operating point (10 Msps, hard traces): trace generation (the
+    // unit the trace cache memoizes), chunked batch scoring through
+    // `score_acquired_many`, and the ordered-rule search — the
+    // incremental prefix-count sweep against the pre-PR rescan.
+    use msc_core::envelope::FrontEnd;
+    use msc_core::search::{collect_scores, default_grid, search_ordered_rule};
+    use msc_core::{MatchMode, Matcher, TemplateBank, TemplateConfig};
+    use msc_dsp::SampleRate;
+    use msc_sim::idtraces::generate_traces_hard;
+
+    let rate = SampleRate::ADC_HALF;
+    let fe = FrontEnd::prototype(rate);
+    let n = 8; // per protocol → 32 traces, the fig7 smoke scale
+    let mut group = c.benchmark_group("id_sweep");
+    group.bench_function("trace_gen", |b| b.iter(|| generate_traces_hard(black_box(&fe), n, 42)));
+
+    let traces = generate_traces_hard(&fe, n, 42);
+    for (mode, label) in
+        [(MatchMode::Quantized, "quantized"), (MatchMode::FullPrecision, "fullprec")]
+    {
+        let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
+        let matcher = Matcher::new(bank, mode);
+        group.bench_with_input(BenchmarkId::new("score_batched", label), &matcher, |b, m| {
+            b.iter(|| collect_scores(black_box(m), &traces))
+        });
+    }
+
+    let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
+    let matcher = Matcher::new(bank, MatchMode::Quantized);
+    let scores = collect_scores(&matcher, &traces);
+    let grid = default_grid();
+    group.bench_function("ordered_search/incremental", |b| {
+        b.iter(|| search_ordered_rule(black_box(&scores), &grid))
+    });
+    group.bench_function("ordered_search/rescan", |b| {
+        b.iter(|| rescan_search(black_box(&scores), &grid))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pipeline, bench_tag_full_loop, bench_experiment_cell, bench_trial_batch
+    targets = bench_pipeline, bench_tag_full_loop, bench_experiment_cell, bench_trial_batch, bench_id_sweep
 }
 criterion_main!(benches);

@@ -62,7 +62,7 @@ pub fn fading_batch<R: Rng>(fading: Fading, rngs: &mut [R], lanes: &mut [IqBuf])
             continue;
         }
         for s in lane.samples_mut() {
-            *s = *s * h;
+            *s *= h;
         }
     }
 }
@@ -98,8 +98,7 @@ pub fn freq_shift_batch(lanes: &mut [IqBuf], delta_hz: f64) {
     for lane in lanes.iter_mut() {
         #[cfg(target_arch = "x86_64")]
         if msc_dsp::simd::avx2_available() {
-            let step =
-                std::f64::consts::TAU * delta_hz / lane.rate().as_hz();
+            let step = std::f64::consts::TAU * delta_hz / lane.rate().as_hz();
             unsafe { avx::freq_shift(lane.samples_mut(), step) };
             continue;
         }
@@ -176,6 +175,9 @@ mod avx {
     /// extraction plus an `atanh` series on `t = (m−1)/(m+1)`.
     /// Truncation error ≤ 4.4e-13 absolute over the Box–Muller input
     /// range; well inside the 1e-12 kernel-equivalence budget.
+    // Constants quoted at fdlibm's printed precision; they round to
+    // the intended f64 bit patterns (the hi/lo split is the point).
+    #[allow(clippy::excessive_precision)]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn ln_pd(x: __m256d) -> __m256d {
         const LN2_HI: f64 = 6.931_471_803_691_238_164_90e-01;
@@ -215,6 +217,10 @@ mod avx {
     /// Four-way `sin`/`cos` with two-term Cody–Waite reduction and the
     /// fdlibm kernel polynomials; accurate to ~1e-15 for the phase
     /// magnitudes the channel produces (|θ| ≲ 1e4).
+    // PIO2_HI is the high word of the Cody–Waite π/2 split, not a
+    // stand-in for FRAC_PI_2; all constants keep fdlibm's printed
+    // precision so they round to the intended bit patterns.
+    #[allow(clippy::approx_constant, clippy::excessive_precision)]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn sincos_pd(theta: __m256d) -> (__m256d, __m256d) {
         const PIO2_HI: f64 = 1.570_796_326_794_896_558_00e+00;
@@ -248,8 +254,7 @@ mod avx {
             _mm256_set1_epi64x(1),
         ));
         let two = _mm256_set1_epi64x(2);
-        let sin_sign =
-            _mm256_castsi256_pd(_mm256_slli_epi64::<62>(_mm256_and_si256(q, two)));
+        let sin_sign = _mm256_castsi256_pd(_mm256_slli_epi64::<62>(_mm256_and_si256(q, two)));
         let cos_sign = _mm256_castsi256_pd(_mm256_slli_epi64::<62>(_mm256_and_si256(
             _mm256_add_epi64(q, _mm256_set1_epi64x(1)),
             two,
@@ -271,10 +276,7 @@ mod avx {
         );
         let sin_base = _mm256_blendv_pd(sin_x, cos_x, swap);
         let cos_base = _mm256_blendv_pd(cos_x, sin_x, swap);
-        (
-            _mm256_xor_pd(sin_base, sin_sign),
-            _mm256_xor_pd(cos_base, cos_sign),
-        )
+        (_mm256_xor_pd(sin_base, sin_sign), _mm256_xor_pd(cos_base, cos_sign))
     }
 
     /// Adds four Box–Muller samples (uniforms pre-drawn in RNG order)
@@ -345,10 +347,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut buf = IqBuf::empty(SampleRate::hz(8_000_000.0));
         for _ in 0..n {
-            buf.push(Complex64::new(
-                rng.gen_range(-1.0..1.0),
-                rng.gen_range(-1.0..1.0),
-            ));
+            buf.push(Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)));
         }
         buf
     }
@@ -358,9 +357,7 @@ mod tests {
     }
 
     fn rngs(n_lanes: usize) -> Vec<StdRng> {
-        (0..n_lanes)
-            .map(|l| StdRng::seed_from_u64(0xabc + l as u64))
-            .collect()
+        (0..n_lanes).map(|l| StdRng::seed_from_u64(0xabc + l as u64)).collect()
     }
 
     fn max_err(a: &IqBuf, b: &IqBuf) -> f64 {
@@ -490,8 +487,7 @@ mod tests {
                 let theta = std::f64::consts::TAU * u2[k];
                 let want = Complex64::new(r * theta.cos(), r * theta.sin());
                 assert!(
-                    (out[k].re - want.re).abs() <= 1e-12
-                        && (out[k].im - want.im).abs() <= 1e-12,
+                    (out[k].re - want.re).abs() <= 1e-12 && (out[k].im - want.im).abs() <= 1e-12,
                     "u1={} u2={} got={:?} want={:?}",
                     u1[k],
                     u2[k],

@@ -191,6 +191,149 @@ pub fn sliding_corr_fft(signal: &[f64], template: &[f64]) -> Vec<f64> {
     normalize_sliding(&prep, l, nums)
 }
 
+/// Maximum sliding correlation of four templates against one signal:
+/// `out[k] = sliding_corr(signal, templates[k]).iter().fold(-∞, max)`,
+/// bit-identical to that expression (`NEG_INFINITY` when a template
+/// produces no offsets).
+///
+/// When all four templates share one length — the matcher's bank always
+/// does — the direct path runs structure-of-arrays: the templates are
+/// interleaved four-wide and every signal offset is read once for all
+/// four numerators (template-outer in the lanes), with a runtime-gated
+/// AVX2 inner loop. One f64 lane per template and a multiply-then-add
+/// chain (no FMA) keep each lane's IEEE operation sequence identical to
+/// [`sliding_corr_direct`]'s scalar fold, so the SoA pass cannot change
+/// a single bit. Sizes where [`sliding_corr`] would pick the FFT, and
+/// banks with mismatched lengths, fall back to the per-template kernels
+/// unchanged.
+pub fn sliding_corr_max4(signal: &[f64], templates: [&[f64]; 4]) -> [f64; 4] {
+    let l = templates[0].len();
+    let uniform = l > 0 && templates.iter().all(|t| t.len() == l);
+    if !uniform || signal.len() < l || fft_pays_off(signal.len(), l) {
+        // Generic path: exactly the per-template loop this kernel
+        // replaces (sliding_corr dispatches FFT vs direct itself).
+        return templates
+            .map(|t| sliding_corr(signal, t).iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v)));
+    }
+    thread_local! {
+        static MAX4_SCRATCH: RefCell<Max4Scratch> = RefCell::new(Max4Scratch::default());
+    }
+    MAX4_SCRATCH.with(|cell| sliding_corr_max4_soa(signal, templates, &mut cell.borrow_mut()))
+}
+
+/// Pooled per-thread buffers for [`sliding_corr_max4`]'s SoA path.
+#[derive(Default)]
+struct Max4Scratch {
+    /// Centered templates interleaved four-wide: `tc4[4i + k] = tc_k[i]`.
+    tc4: Vec<f64>,
+    /// Signal prefix sums (value and square), as in [`sliding_prep`].
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+    /// Per-offset raw numerators, one lane per template.
+    nums: Vec<[f64; 4]>,
+}
+
+fn sliding_corr_max4_soa(
+    signal: &[f64],
+    templates: [&[f64]; 4],
+    scratch: &mut Max4Scratch,
+) -> [f64; 4] {
+    let l = templates[0].len();
+    let n_off = signal.len() - l + 1;
+    // Center each template exactly as sliding_prep does and interleave.
+    let mut var_t = [0.0f64; 4];
+    scratch.tc4.clear();
+    scratch.tc4.resize(4 * l, 0.0);
+    for (k, t) in templates.iter().enumerate() {
+        let mt = t.iter().sum::<f64>() / t.len() as f64;
+        let mut v = 0.0;
+        for (i, &x) in t.iter().enumerate() {
+            let c = x - mt;
+            scratch.tc4[4 * i + k] = c;
+            v += c * c;
+        }
+        var_t[k] = v;
+    }
+    // Signal prefix sums, identical to the ones sliding_prep would
+    // compute for each template (they depend on the signal alone).
+    scratch.s1.clear();
+    scratch.s2.clear();
+    scratch.s1.reserve(signal.len() + 1);
+    scratch.s2.reserve(signal.len() + 1);
+    let (mut a1, mut a2) = (0.0f64, 0.0f64);
+    scratch.s1.push(0.0);
+    scratch.s2.push(0.0);
+    for &x in signal {
+        a1 += x;
+        a2 += x * x;
+        scratch.s1.push(a1);
+        scratch.s2.push(a2);
+    }
+    scratch.nums.clear();
+    scratch.nums.resize(n_off, [0.0; 4]);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::avx2_available() {
+            // Safety: probed at runtime.
+            unsafe { soa_numerators_avx2(signal, &scratch.tc4, l, &mut scratch.nums) };
+        } else {
+            soa_numerators_scalar(signal, &scratch.tc4, l, &mut scratch.nums);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    soa_numerators_scalar(signal, &scratch.tc4, l, &mut scratch.nums);
+    // Normalize and fold the per-template max, mirroring
+    // normalize_sliding's expression bit for bit.
+    let mut out = [f64::NEG_INFINITY; 4];
+    for (off, nums) in scratch.nums.iter().enumerate() {
+        let seg1 = scratch.s1[off + l] - scratch.s1[off];
+        let seg2 = scratch.s2[off + l] - scratch.s2[off];
+        let var_s = (seg2 - seg1 * seg1 / l as f64).max(0.0);
+        for k in 0..4 {
+            let denom = (var_s * var_t[k]).sqrt();
+            let v = if denom < 1e-30 { 0.0 } else { nums[k] / denom };
+            out[k] = out[k].max(v);
+        }
+    }
+    out
+}
+
+/// Scalar SoA numerators: per offset, one accumulator per template lane,
+/// multiply-then-add in sample order — the same fold order as
+/// [`sliding_corr_direct`]'s `.map(|(&s, &t)| s * t).sum()`.
+fn soa_numerators_scalar(signal: &[f64], tc4: &[f64], l: usize, out: &mut [[f64; 4]]) {
+    for (off, o) in out.iter_mut().enumerate() {
+        let mut acc = [0.0f64; 4];
+        for (i, &s) in signal[off..off + l].iter().enumerate() {
+            for k in 0..4 {
+                acc[k] += s * tc4[4 * i + k];
+            }
+        }
+        *o = acc;
+    }
+}
+
+/// AVX2 SoA numerators: the four template lanes live in one `__m256d`
+/// accumulator; `vmulpd` + `vaddpd` (deliberately not FMA) perform the
+/// identical per-lane IEEE operation sequence as the scalar fold, so
+/// the vector path is bit-identical, not merely close.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn soa_numerators_avx2(signal: &[f64], tc4: &[f64], l: usize, out: &mut [[f64; 4]]) {
+    use std::arch::x86_64::*;
+    for (off, o) in out.iter_mut().enumerate() {
+        let mut acc = _mm256_setzero_pd();
+        let s = signal.as_ptr().add(off);
+        let t = tc4.as_ptr();
+        for i in 0..l {
+            let sv = _mm256_set1_pd(*s.add(i));
+            let tv = _mm256_loadu_pd(t.add(4 * i));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(sv, tv));
+        }
+        _mm256_storeu_pd(o.as_mut_ptr(), acc);
+    }
+}
+
 /// Per-thread cap on memoized probe spectra; exceeding it clears the
 /// map (receivers use a handful of fixed sync probes, so eviction is
 /// effectively never hit in practice).
@@ -586,6 +729,62 @@ mod tests {
         for (off, &e) in got.iter().enumerate() {
             let want: f64 = samples[off..off + 7].iter().map(|s| s.norm_sqr()).sum();
             assert!((e - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sliding_corr_max4_matches_per_template_fold() {
+        // Both dispatch regimes: short templates (direct/SoA path) and
+        // long ones where fft_pays_off flips (per-template FFT fallback),
+        // plus mismatched lengths (generic fallback) and a too-short
+        // signal (no offsets → NEG_INFINITY).
+        for (n, l) in [(300usize, 40usize), (300, 120), (4096, 512)] {
+            let signal = test_signal(n, 1);
+            let t: Vec<Vec<f64>> = (0..4).map(|k| test_signal(l, 50 + k)).collect();
+            let got = sliding_corr_max4(&signal, [&t[0], &t[1], &t[2], &t[3]]);
+            for k in 0..4 {
+                let want =
+                    sliding_corr(&signal, &t[k]).iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v));
+                assert_eq!(got[k].to_bits(), want.to_bits(), "n={n} l={l} template {k}");
+            }
+        }
+        let signal = test_signal(200, 2);
+        let uneven: Vec<Vec<f64>> = (0..4).map(|k| test_signal(30 + k, 60 + k as u64)).collect();
+        let got = sliding_corr_max4(&signal, [&uneven[0], &uneven[1], &uneven[2], &uneven[3]]);
+        for k in 0..4 {
+            let want =
+                sliding_corr(&signal, &uneven[k]).iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v));
+            assert_eq!(got[k].to_bits(), want.to_bits(), "uneven template {k}");
+        }
+        let short = sliding_corr_max4(&test_signal(10, 3), [&uneven[0]; 4]);
+        assert!(short.iter().all(|v| *v == f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn soa_scalar_and_simd_numerators_agree() {
+        // The scalar SoA kernel must match the dispatched one exactly —
+        // on AVX2 machines this pins the vector lanes to the scalar fold.
+        let signal = test_signal(400, 5);
+        let l = 64usize;
+        let t: Vec<Vec<f64>> = (0..4).map(|k| test_signal(l, 70 + k)).collect();
+        let mut scratch = Max4Scratch::default();
+        let via_soa = sliding_corr_max4_soa(&signal, [&t[0], &t[1], &t[2], &t[3]], &mut scratch);
+        // Recompute numerators with the scalar kernel on the prepared
+        // interleave and compare raw lane sums at a few offsets.
+        let mut scalar_nums = vec![[0.0f64; 4]; signal.len() - l + 1];
+        soa_numerators_scalar(&signal, &scratch.tc4, l, &mut scalar_nums);
+        for (off, lanes) in scalar_nums.iter().enumerate().step_by(37) {
+            for k in 0..4 {
+                assert_eq!(
+                    lanes[k].to_bits(),
+                    scratch.nums[off][k].to_bits(),
+                    "offset {off} lane {k}"
+                );
+            }
+        }
+        let reference = sliding_corr_max4(&signal, [&t[0], &t[1], &t[2], &t[3]]);
+        for k in 0..4 {
+            assert_eq!(via_soa[k].to_bits(), reference[k].to_bits());
         }
     }
 

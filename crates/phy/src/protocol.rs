@@ -24,6 +24,19 @@ impl Protocol {
     pub const ALL: [Protocol; 4] =
         [Protocol::WifiN, Protocol::WifiB, Protocol::Ble, Protocol::ZigBee];
 
+    /// Position of this protocol in [`Protocol::ALL`] — the canonical
+    /// index for score vectors and per-protocol accumulators. An explicit
+    /// match (not an enum cast): the declaration order differs from the
+    /// display order `ALL` fixes.
+    pub const fn index(self) -> usize {
+        match self {
+            Protocol::WifiN => 0,
+            Protocol::WifiB => 1,
+            Protocol::Ble => 2,
+            Protocol::ZigBee => 3,
+        }
+    }
+
     /// Short display label matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -113,6 +126,13 @@ impl std::error::Error for DecodeError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, p) in Protocol::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p}");
+        }
+    }
 
     #[test]
     fn labels_match_paper() {

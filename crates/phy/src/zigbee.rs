@@ -318,7 +318,7 @@ impl ZigBeeDemodulator {
             let mut acc = Complex64::new(0.0, 0.0);
             let mut energy = 0.0f64;
             for (s, p) in window.iter().zip(probe) {
-                acc = acc + *s * p.conj();
+                acc += *s * p.conj();
                 energy += s.norm_sqr();
             }
             let denom = (probe_energy * energy).sqrt();
@@ -330,10 +330,8 @@ impl ZigBeeDemodulator {
         if max_score <= 0.6 {
             return None;
         }
-        let off = scores[..=max_off]
-            .iter()
-            .position(|&s| s >= 0.98 * max_score)
-            .expect("max exists");
+        let off =
+            scores[..=max_off].iter().position(|&s| s >= 0.98 * max_score).expect("max exists");
         Some((off, accs[off].arg()))
     }
 
@@ -455,9 +453,9 @@ impl ZigBeeDemodulator {
         };
         let samples = buf.samples();
         let (t0_coarse, _) = match hint {
-            Some(radius) => self
-                .find_sync_windowed(samples, radius)
-                .or_else(|| self.find_sync(samples)),
+            Some(radius) => {
+                self.find_sync_windowed(samples, radius).or_else(|| self.find_sync(samples))
+            }
             None => self.find_sync(samples),
         }
         .ok_or(DecodeError::SyncNotFound)?;
@@ -640,7 +638,7 @@ mod tests {
             let mut noisy: Vec<Complex64> = tx.samples().to_vec();
             for s in noisy.iter_mut() {
                 let n = Complex64::new(rng.gen_range(-0.25..0.25), rng.gen_range(-0.25..0.25));
-                *s = *s + n;
+                *s += n;
             }
             let rx = IqBuf::new(noisy, tx.rate());
             let full = demod.demodulate(&rx);

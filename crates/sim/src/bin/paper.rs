@@ -76,7 +76,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: paper <experiment|all> [n] [seed] [--full] [--ci] [--trace] [--profile] \
          [--threads N] [--batch N] [--no-early-stop] [--metrics-out <dir>] \
-         [--no-wave-cache] [--no-progress] \
+         [--no-wave-cache] [--no-trace-cache] [--no-progress] \
          [--flight-slow-us N] [--no-flight]\n       paper list\n       \
          paper replay <bundle.json> [--threads N] [--trace]\n       \
          paper diff <runA> <runB> [--only-moved]\n       \
@@ -130,6 +130,11 @@ fn main() {
             // a pure synthesis); this exists to demonstrate exactly that
             // and to measure the cache's speedup.
             "--no-wave-cache" => msc_sim::set_waveform_cache(false),
+            // Regenerate every identification trace set instead of
+            // sharing it across experiments. Same contract as the
+            // waveform cache: reports are byte-identical either way
+            // (the cache memoizes a pure, seed-keyed generation).
+            "--no-trace-cache" => msc_sim::set_trace_cache(false),
             "--threads" => {
                 let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
                     eprintln!("--threads needs a number\n");
@@ -310,6 +315,7 @@ fn main() {
         msc_obs::metrics::set_experiment("run");
         let ps = msc_dsp::plan::stats();
         let ws = msc_sim::wavecache::stats();
+        let ts = msc_sim::tracecache::stats();
         let pool = msc_obs::pool::snapshot();
         let fs = msc_obs::flight::stats();
         let pc = msc_obs::progress::counters();
@@ -323,6 +329,9 @@ fn main() {
         g("wavecache.len", "sim", "", ws.len as f64);
         g("wavecache.hits_total", "sim", "", ws.hits as f64);
         g("wavecache.misses_total", "sim", "", ws.misses as f64);
+        g("tracecache.len", "sim", "", ts.len as f64);
+        g("tracecache.hits_total", "sim", "", ts.hits as f64);
+        g("tracecache.misses_total", "sim", "", ts.misses as f64);
         g("pool.busy_us", "par", "", pool.busy_us as f64);
         g("pool.idle_us", "par", "", pool.idle_us as f64);
         g("pool.utilization", "par", "", pool.utilization());
@@ -419,6 +428,7 @@ fn write_profile(dir: Option<&std::path::Path>) {
     let profile = msc_obs::profile::take();
     let ps = msc_dsp::plan::stats();
     let ws = msc_sim::wavecache::stats();
+    let ts = msc_sim::tracecache::stats();
     let pool = msc_obs::pool::snapshot();
     let counters: Vec<(String, f64)> = vec![
         ("dsp.plan_hits".into(), ps.plan_hits as f64),
@@ -428,6 +438,9 @@ fn write_profile(dir: Option<&std::path::Path>) {
         ("wavecache.hits".into(), ws.hits as f64),
         ("wavecache.misses".into(), ws.misses as f64),
         ("wavecache.bypasses".into(), ws.bypasses as f64),
+        ("tracecache.hits".into(), ts.hits as f64),
+        ("tracecache.misses".into(), ts.misses as f64),
+        ("tracecache.bypasses".into(), ts.bypasses as f64),
         ("pool.busy_us".into(), pool.busy_us as f64),
         ("pool.idle_us".into(), pool.idle_us as f64),
         ("pool.utilization".into(), pool.utilization()),

@@ -12,9 +12,10 @@
 //! * `abl-lag` — the matcher's lag-search radius (continuous-correlator
 //!   modeling) vs accuracy.
 
-use crate::idtraces::{front_end, generate_traces_hard};
+use crate::idtraces::front_end;
 use crate::pipeline::apply_uplink;
 use crate::report::{f1, pct, Report};
+use crate::tracecache::traces_hard;
 use msc_core::envelope::FrontEnd;
 use msc_core::overlay::{OverlayParams, TagOverlayModulator};
 use msc_core::resources::{Arithmetic, MatcherCost};
@@ -34,10 +35,7 @@ pub fn abl_bits(n: usize, seed: u64) -> Report {
     let rate = SampleRate::ADC_HALF;
     let fe = front_end(rate);
     let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
-    let traces: Vec<(Protocol, Vec<f64>, isize)> = generate_traces_hard(&fe, n, seed)
-        .into_iter()
-        .map(|t| (t.truth, t.acquired, t.jitter))
-        .collect();
+    let traces = traces_hard(&fe, n, seed);
 
     let mut report = Report::new(
         "abl-bits — quantization width vs accuracy and FPGA cost (10 Msps)",
@@ -129,10 +127,9 @@ pub fn abl_slope(n: usize, seed: u64) -> Report {
         fe.fm_slope = slope;
         let bank = TemplateBank::build(&fe, TemplateConfig::full_rate());
         let matcher = Matcher::new(bank, MatchMode::FullPrecision);
-        let traces: Vec<(Protocol, Vec<f64>, isize)> = generate_traces_hard(&fe, n, seed)
-            .into_iter()
-            .map(|t| (t.truth, t.acquired, t.jitter))
-            .collect();
+        // The mutated fm_slope feeds the trace-cache key (front-end
+        // fingerprint), so each row generates — and caches — its own set.
+        let traces = traces_hard(&fe, n, seed);
         let scores = collect_scores_labeled(&matcher, &traces, &format!("slope{slope:.2}"), seed);
         let per = msc_core::search::per_protocol_accuracy(
             &msc_core::OrderedRule { steps: vec![] },
@@ -157,10 +154,7 @@ pub fn abl_lag(n: usize, seed: u64) -> Report {
     let rate = SampleRate::ADC_HALF;
     let fe = front_end(rate);
     let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
-    let traces: Vec<(Protocol, Vec<f64>, isize)> = generate_traces_hard(&fe, n, seed)
-        .into_iter()
-        .map(|t| (t.truth, t.acquired, t.jitter))
-        .collect();
+    let traces = traces_hard(&fe, n, seed);
     let mut report = Report::new(
         "abl-lag — correlator lag-search radius vs accuracy (10 Msps, ±1 quantized)",
         &["radius (samples)", "radius (µs)", "avg acc"],

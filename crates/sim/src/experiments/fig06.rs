@@ -1,8 +1,9 @@
 //! Fig. 6 — the ordered-matching chain: per-protocol correlation-score
 //! separation and the brute-force searched order + thresholds (§2.3.2).
 
-use crate::idtraces::{front_end, generate_traces_hard};
+use crate::idtraces::front_end;
 use crate::report::{f3, Report};
+use crate::tracecache::traces_hard;
 use msc_core::search::{collect_scores_labeled, default_grid, search_ordered_rule};
 use msc_core::{MatchMode, Matcher, TemplateBank, TemplateConfig};
 use msc_dsp::SampleRate;
@@ -13,12 +14,10 @@ pub fn run(n: usize, seed: u64) -> Report {
     let n = n.max(12);
     let rate = SampleRate::ADC_HALF; // the §2.3.2 operating point
     let fe = front_end(rate);
-    let traces = generate_traces_hard(&fe, n, seed);
-    let tuples: Vec<(Protocol, Vec<f64>, isize)> =
-        traces.iter().map(|t| (t.truth, t.acquired.clone(), t.jitter)).collect();
+    let traces = traces_hard(&fe, n, seed);
     let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
     let matcher = Matcher::new(bank, MatchMode::Quantized);
-    let scores = collect_scores_labeled(&matcher, &tuples, "hard", seed);
+    let scores = collect_scores_labeled(&matcher, &traces, "hard", seed);
 
     let mut report = Report::new(
         "fig6 — score separation and searched ordered-matching chain (10 Msps, ±1 quantized)",

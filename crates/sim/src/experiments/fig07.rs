@@ -1,8 +1,9 @@
 //! Fig. 7 — blind vs ordered matching at 10 Msps with 1-bit
 //! quantization. Paper: average accuracy 0.906 (blind) → 0.976 (ordered).
 
-use crate::idtraces::{front_end, generate_traces_hard};
+use crate::idtraces::front_end;
 use crate::report::{pct, Report};
+use crate::tracecache::traces_hard;
 use msc_core::search::{
     blind_accuracy, collect_scores_labeled, default_grid, per_protocol_accuracy,
     search_ordered_rule,
@@ -20,23 +21,10 @@ pub fn run(n: usize, seed: u64) -> Report {
     let bank = TemplateBank::build(&fe, TemplateConfig::standard(rate));
     let matcher = Matcher::new(bank, MatchMode::Quantized);
 
-    let to_tuples = |traces: &[crate::idtraces::Trace]| -> Vec<(Protocol, Vec<f64>, isize)> {
-        traces.iter().map(|t| (t.truth, t.acquired.clone(), t.jitter)).collect()
-    };
     // The flight-recorder seed is the runner's *base* seed in both
     // batches (replay re-runs this runner, which re-derives ^0x5a5a).
-    let train = collect_scores_labeled(
-        &matcher,
-        &to_tuples(&generate_traces_hard(&fe, n, seed)),
-        "train",
-        seed,
-    );
-    let test = collect_scores_labeled(
-        &matcher,
-        &to_tuples(&generate_traces_hard(&fe, n, seed ^ 0x5a5a)),
-        "test",
-        seed,
-    );
+    let train = collect_scores_labeled(&matcher, &traces_hard(&fe, n, seed), "train", seed);
+    let test = collect_scores_labeled(&matcher, &traces_hard(&fe, n, seed ^ 0x5a5a), "test", seed);
 
     let searched = search_ordered_rule(&train, &default_grid());
     let blind_rule = OrderedRule { steps: vec![] };

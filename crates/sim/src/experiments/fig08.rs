@@ -3,14 +3,14 @@
 //! (b) extending to 40 µs recovers it (0.93);
 //! (c) 1 Msps stays unusable (~0.5).
 
-use crate::idtraces::{front_end, generate_traces_hard};
+use crate::idtraces::front_end;
 use crate::report::{pct, Report};
+use crate::tracecache::traces_hard;
 use msc_core::search::{
     collect_scores_labeled, default_grid, per_protocol_accuracy, search_ordered_rule,
 };
 use msc_core::{MatchMode, Matcher, TemplateBank, TemplateConfig};
 use msc_dsp::SampleRate;
-use msc_phy::protocol::Protocol;
 
 /// Runs with `n` packets per protocol (half train / half test).
 pub fn run(n: usize, seed: u64) -> Report {
@@ -30,17 +30,21 @@ pub fn run(n: usize, seed: u64) -> Report {
             if extended { TemplateConfig::extended(rate) } else { TemplateConfig::standard(rate) };
         let bank = TemplateBank::build(&fe, cfg);
         let matcher = Matcher::new(bank, MatchMode::Quantized);
-        let tuples = |seed: u64| -> Vec<(Protocol, Vec<f64>, isize)> {
-            generate_traces_hard(&fe, n, seed)
-                .into_iter()
-                .map(|t| (t.truth, t.acquired, t.jitter))
-                .collect()
-        };
         // Flight records carry the runner's base seed (replay re-derives
-        // the ^0xa7a7 test stream itself).
-        let train = collect_scores_labeled(&matcher, &tuples(seed), &format!("{slug}/train"), seed);
-        let test =
-            collect_scores_labeled(&matcher, &tuples(seed ^ 0xa7a7), &format!("{slug}/test"), seed);
+        // the ^0xa7a7 test stream itself). Both 2.5 Msps rows share one
+        // cached trace set per seed; only the template window differs.
+        let train = collect_scores_labeled(
+            &matcher,
+            &traces_hard(&fe, n, seed),
+            &format!("{slug}/train"),
+            seed,
+        );
+        let test = collect_scores_labeled(
+            &matcher,
+            &traces_hard(&fe, n, seed ^ 0xa7a7),
+            &format!("{slug}/test"),
+            seed,
+        );
         let searched = search_ordered_rule(&train, &default_grid());
         let per = per_protocol_accuracy(&searched.rule, &test);
         let avg = per.iter().sum::<f64>() / 4.0;

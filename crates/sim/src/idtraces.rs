@@ -44,13 +44,18 @@ pub fn generate_traces(front_end: &FrontEnd, n_per_protocol: usize, seed: u64) -
     generate_traces_at(front_end, n_per_protocol, seed, -9.0..-4.0, 2)
 }
 
+/// Incident-power range of the "hard" identification traces (dBm).
+pub const HARD_INCIDENT_DBM: std::ops::Range<f64> = -10.5..-4.5;
+/// Detection-jitter bound of the "hard" identification traces (samples).
+pub const HARD_MAX_JITTER: isize = 3;
+
 /// Harder traces: placements down near the rectifier's sensitivity edge
 /// (the low end of the paper's "200,000 traces of different ranges,
 /// scenarios"), with more detection jitter. Figs. 5–8 use these so the
 /// blind/ordered and window-extension effects are visible rather than
 /// saturated at 100%.
 pub fn generate_traces_hard(front_end: &FrontEnd, n_per_protocol: usize, seed: u64) -> Vec<Trace> {
-    generate_traces_at(front_end, n_per_protocol, seed, -10.5..-4.5, 3)
+    generate_traces_at(front_end, n_per_protocol, seed, HARD_INCIDENT_DBM, HARD_MAX_JITTER)
 }
 
 /// Trace generation with explicit incident-power range and jitter bound.
@@ -65,9 +70,16 @@ pub fn generate_traces_at(
     incident_dbm: std::ops::Range<f64>,
     max_jitter: isize,
 ) -> Vec<Trace> {
+    if n_per_protocol == 0 {
+        return Vec::new();
+    }
     let cell = msc_par::hash_label("idtraces");
+    // Trace i belongs to protocol i / n_per_protocol: n_per_protocol
+    // consecutive traces per protocol, in Protocol::ALL order. (The
+    // n == 0 case returns above, so the division is well-defined and
+    // the quotient stays in 0..4.)
     msc_par::par_map_indexed(n_per_protocol * 4, |i| {
-        let p = Protocol::ALL[i / n_per_protocol.max(1)];
+        let p = Protocol::ALL[i / n_per_protocol];
         let mut rng = StdRng::seed_from_u64(msc_par::derive_seed(seed, cell, i as u64));
         let wave = random_packet(p, &mut rng);
         let incident = rng.gen_range(incident_dbm.clone());
@@ -75,6 +87,18 @@ pub fn generate_traces_at(
         let jitter = rng.gen_range(-max_jitter..=max_jitter);
         Trace { truth: p, acquired, jitter }
     })
+}
+
+impl msc_core::search::ScoredTrace for Trace {
+    fn truth(&self) -> Protocol {
+        self.truth
+    }
+    fn acquired(&self) -> &[f64] {
+        &self.acquired
+    }
+    fn jitter(&self) -> isize {
+        self.jitter
+    }
 }
 
 /// Convenience: a prototype front end at `rate`.
@@ -95,5 +119,11 @@ mod tests {
             assert_eq!(traces.iter().filter(|t| t.truth == p).count(), 2);
         }
         assert!(traces.iter().all(|t| !t.acquired.is_empty()));
+    }
+
+    #[test]
+    fn zero_traces_per_protocol_is_empty() {
+        let fe = front_end(SampleRate::ADC_LOW);
+        assert!(generate_traces(&fe, 0, 7).is_empty());
     }
 }

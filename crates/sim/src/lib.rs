@@ -19,9 +19,11 @@ pub mod pipeline;
 pub mod replay;
 pub mod report;
 pub mod throughput;
+pub mod tracecache;
 pub mod traffic;
 pub mod wavecache;
 
 pub use pipeline::{AnyLink, Geometry, PacketOutcome, StopPolicy, TrialBatch};
 pub use report::Report;
+pub use tracecache::set_trace_cache;
 pub use wavecache::{set_waveform_cache, CellExcitation};

@@ -705,8 +705,8 @@ fn run_packets_inner(
     // must see every trial, so both force the legacy engine at full n.
     let batch = crate::engine::batch();
     let batched = batch > 1 && !flight && target_index.is_none();
-    let stopping = policy
-        .filter(|_| crate::engine::early_stop() && !flight && target_index.is_none());
+    let stopping =
+        policy.filter(|_| crate::engine::early_stop() && !flight && target_index.is_none());
     let plan = match stopping {
         Some(p) => checkpoints(n, p.floor),
         None => vec![n],
@@ -731,7 +731,10 @@ fn run_packets_inner(
                 let len = batch.min(count - b * batch);
                 BATCH_POOL.with(|tb| {
                     let mut tb = tb.borrow_mut();
-                    let modulator = TagOverlayModulator::new(link.protocol(), params_for(link.protocol(), mode));
+                    let modulator = TagOverlayModulator::new(
+                        link.protocol(),
+                        params_for(link.protocol(), mode),
+                    );
                     metrics::time_stage(label, "modulate", || {
                         tb.materialize(&modulator, &exc, seed, cellh, crn_hash, lo, len)
                     });

@@ -127,8 +127,7 @@ impl Report {
                 // proportion with a meaningful interval: render it only
                 // when the cell early-stopped (num < den), as a mark.
                 if s.name == "n_used" {
-                    return (s.p.num < s.p.den)
-                        .then(|| format!("n={}/{}⏹", s.p.num, s.p.den));
+                    return (s.p.num < s.p.den).then(|| format!("n={}/{}⏹", s.p.num, s.p.den));
                 }
                 let hw = s.p.wilson(Z95).half_width();
                 let mark = if s.p.converged(CONVERGED_HALF_WIDTH) { "✓" } else { "?" };

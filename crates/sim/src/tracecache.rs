@@ -1,0 +1,251 @@
+//! Shared identification-trace cache.
+//!
+//! The identification experiments (Figs. 5–8 and the matcher ablations)
+//! all start from the same place: a labeled set of acquired traces from
+//! [`crate::idtraces::generate_traces_at`]. fig7 alone builds two sets
+//! (train + test); fig8 regenerates the 2.5 Msps set for both of its
+//! window variants; the ablations rebuild the full-rate hard set per
+//! row. This cache memoizes those sets behind an [`Arc`], keyed by
+//! everything that determines the generated traces: the *full front-end
+//! configuration* (not just the ADC rate — `abl_slope` mutates
+//! `fm_slope` between rows, so a rate-only key would alias distinct
+//! front ends), the per-protocol count, the incident-power range, the
+//! jitter bound, and the base seed.
+//!
+//! ## Determinism contract
+//!
+//! Trace generation seeds every trace from
+//! `derive_seed(seed, hash_label("idtraces"), index)` — a pure function
+//! of the cache key — so a cache hit returns traces bit-identical to a
+//! fresh generation. Disabling the cache (`paper --no-trace-cache`,
+//! [`set_trace_cache`]) changes *work*, never *results*: reports are
+//! byte-identical with the cache on or off, at any thread count
+//! (asserted by `tests/thread_determinism.rs`).
+
+use crate::idtraces::{self, Trace};
+use msc_core::envelope::FrontEnd;
+use msc_obs::metrics;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// FNV-1a over every result-affecting front-end field. The acquisition
+/// path consumes the rectifier model, the ADC quantizer, the gain
+/// slope, the noise floor, and the optional band filter — all of them
+/// feed the fingerprint, bit patterns included, so any front-end tweak
+/// (including NaN-free float edits far below display precision) gets
+/// its own cache entry.
+fn front_end_fingerprint(fe: &FrontEnd) -> u64 {
+    use msc_analog::rectifier::RectifierKind;
+    let words = [
+        match fe.rectifier.kind {
+            RectifierKind::Basic => 0u64,
+            RectifierKind::Clamp => 1,
+            RectifierKind::Wisp => 2,
+        },
+        fe.rectifier.v_on.to_bits(),
+        fe.rectifier.v_clamp.to_bits(),
+        fe.rectifier.tau.to_bits(),
+        fe.rectifier.tau_charge.to_bits(),
+        fe.rectifier.f_carrier.to_bits(),
+        fe.adc.rate.as_hz().to_bits(),
+        fe.adc.bits as u64,
+        fe.adc.v_ref.to_bits(),
+        fe.fm_slope.to_bits(),
+        fe.noise_v.to_bits(),
+        fe.band_filter_hz.is_some() as u64,
+        fe.band_filter_hz.unwrap_or(0.0).to_bits(),
+    ];
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Everything that determines a generated trace set.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fe_fingerprint: u64,
+    n_per_protocol: usize,
+    seed: u64,
+    incident_lo: u64,
+    incident_hi: u64,
+    max_jitter: isize,
+}
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<Vec<Trace>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<Vec<Trace>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+// Always-on counters (independent of the metrics registry) so
+// `paper --profile` can surface cache effectiveness without
+// `--metrics-out`, mirroring `crate::wavecache::stats`.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYPASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the trace-cache counters (same shape as the waveform cache's).
+pub fn stats() -> crate::wavecache::CacheStats {
+    crate::wavecache::CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bypasses: BYPASSES.load(Ordering::Relaxed),
+        len: trace_cache_len() as u64,
+    }
+}
+
+/// Enables or disables the global trace cache (`paper
+/// --no-trace-cache`). Disabling also drops every cached trace set, so
+/// a re-enable starts cold. Results are identical either way; only the
+/// generation work changes.
+pub fn set_trace_cache(enabled: bool) {
+    ENABLED.store(enabled, Ordering::SeqCst);
+    cache().lock().unwrap().clear();
+}
+
+/// Whether the trace cache is currently enabled.
+pub fn trace_cache_enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Number of trace sets currently cached.
+pub fn trace_cache_len() -> usize {
+    cache().lock().unwrap().len()
+}
+
+/// [`crate::idtraces::generate_traces_at`] through the cache: returns
+/// the shared set on a hit, generates (and inserts) otherwise.
+pub fn traces_at(
+    front_end: &FrontEnd,
+    n_per_protocol: usize,
+    seed: u64,
+    incident_dbm: Range<f64>,
+    max_jitter: isize,
+) -> Arc<Vec<Trace>> {
+    let key = CacheKey {
+        fe_fingerprint: front_end_fingerprint(front_end),
+        n_per_protocol,
+        seed,
+        incident_lo: incident_dbm.start.to_bits(),
+        incident_hi: incident_dbm.end.to_bits(),
+        max_jitter,
+    };
+    if !ENABLED.load(Ordering::SeqCst) {
+        BYPASSES.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("tracecache.bypass", "id", "", 1);
+        return Arc::new(idtraces::generate_traces_at(
+            front_end,
+            n_per_protocol,
+            seed,
+            incident_dbm,
+            max_jitter,
+        ));
+    }
+    let hit = cache().lock().unwrap().get(&key).cloned();
+    match hit {
+        Some(t) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            metrics::counter_add("tracecache.hit", "id", "", 1);
+            t
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            metrics::counter_add("tracecache.miss", "id", "", 1);
+            // Generate outside the lock; a racing duplicate insert is
+            // idempotent (generation is a pure function of the key).
+            let t = Arc::new(idtraces::generate_traces_at(
+                front_end,
+                n_per_protocol,
+                seed,
+                incident_dbm,
+                max_jitter,
+            ));
+            cache().lock().unwrap().insert(key, Arc::clone(&t));
+            t
+        }
+    }
+}
+
+/// [`crate::idtraces::generate_traces_hard`] through the cache — the
+/// operating point every identification figure shares.
+pub fn traces_hard(front_end: &FrontEnd, n_per_protocol: usize, seed: u64) -> Arc<Vec<Trace>> {
+    traces_at(
+        front_end,
+        n_per_protocol,
+        seed,
+        idtraces::HARD_INCIDENT_DBM,
+        idtraces::HARD_MAX_JITTER,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_dsp::SampleRate;
+
+    fn assert_same_traces(a: &[Trace], b: &[Trace]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.truth, y.truth);
+            assert_eq!(x.jitter, y.jitter);
+            assert_eq!(x.acquired.len(), y.acquired.len());
+            for (u, v) in x.acquired.iter().zip(&y.acquired) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hit_shares_the_arc_and_bypass_is_bit_identical() {
+        let fe = idtraces::front_end(SampleRate::ADC_LOW);
+        set_trace_cache(true);
+        let a = traces_hard(&fe, 2, 4242);
+        let b = traces_hard(&fe, 2, 4242);
+        assert!(Arc::ptr_eq(&a, &b), "second fetch must hit the cache");
+
+        set_trace_cache(false);
+        let c = traces_hard(&fe, 2, 4242);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_same_traces(&a, &c);
+        set_trace_cache(true);
+    }
+
+    #[test]
+    fn front_end_mutation_misses_the_cache() {
+        // abl_slope mutates fm_slope between rows at a fixed ADC rate;
+        // the fingerprint must key those apart.
+        let fe = idtraces::front_end(SampleRate::ADC_LOW);
+        set_trace_cache(true);
+        let a = traces_hard(&fe, 1, 77);
+        let mut fe2 = fe.clone();
+        fe2.fm_slope += 0.25;
+        let b = traces_hard(&fe2, 1, 77);
+        assert!(!Arc::ptr_eq(&a, &b), "mutated front end must not alias the cache entry");
+        assert_eq!(front_end_fingerprint(&fe), front_end_fingerprint(&fe.clone()));
+        assert_ne!(front_end_fingerprint(&fe), front_end_fingerprint(&fe2));
+        set_trace_cache(true);
+    }
+
+    #[test]
+    fn distinct_ranges_seeds_and_counts_key_apart() {
+        let fe = idtraces::front_end(SampleRate::ADC_LOW);
+        set_trace_cache(true);
+        let base = traces_at(&fe, 1, 9, -9.0..-4.0, 2);
+        for other in [
+            traces_at(&fe, 1, 10, -9.0..-4.0, 2),
+            traces_at(&fe, 2, 9, -9.0..-4.0, 2),
+            traces_at(&fe, 1, 9, -9.5..-4.0, 2),
+            traces_at(&fe, 1, 9, -9.0..-4.0, 3),
+        ] {
+            assert!(!Arc::ptr_eq(&base, &other));
+        }
+    }
+}

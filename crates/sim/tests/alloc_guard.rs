@@ -11,7 +11,9 @@
 use msc_core::overlay::{params_for, Mode};
 use msc_core::TagOverlayModulator;
 use msc_phy::protocol::Protocol;
-use msc_sim::pipeline::{run_packet, run_packet_shared, AnyLink, Geometry, Impairments, TrialBatch};
+use msc_sim::pipeline::{
+    run_packet, run_packet_shared, AnyLink, Geometry, Impairments, TrialBatch,
+};
 use msc_sim::wavecache::CellExcitation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -103,6 +105,48 @@ fn steady_state_packet_allocates_far_less_than_cold() {
         snap.iter().any(|r| r.key.name == "alloc.steady_packet"),
         "steady-state allocation gauge must be exported"
     );
+    msc_par::set_threads(0);
+}
+
+#[test]
+fn ordered_rule_search_steady_state_stays_lean() {
+    let _serial = lock();
+    // The incremental search keeps its per-permutation sweep state
+    // (sorted free indices, threshold keys, prefix counts) in a
+    // thread-local scratch, so a warm `search_ordered_rule` call
+    // allocates only its outputs: the score-view matrix and 24
+    // four-step candidate rules. The old rescanning search cloned a
+    // rule per (permutation, step, threshold) candidate — thousands of
+    // allocations for a set this size — so the bound below would be
+    // unreachable without the incremental sweep.
+    use msc_core::search::{default_grid, search_ordered_rule, LabeledScores};
+    use msc_core::Scores;
+
+    msc_par::set_threads(1);
+    let data: Vec<LabeledScores> = (0..160)
+        .map(|i| {
+            let truth = Protocol::ALL[i % 4];
+            let mut scores = Scores::default();
+            for (j, p) in Protocol::ALL.into_iter().enumerate() {
+                // Deterministic, tie-heavy grid-adjacent scores so every
+                // greedy step sweeps real threshold candidates.
+                let base = if p == truth { 0.70 } else { 0.35 };
+                scores.set(p, base + ((i * 7 + j * 13) % 10) as f64 * 0.03);
+            }
+            LabeledScores { truth, scores }
+        })
+        .collect();
+    let grid = default_grid();
+
+    // Warm the thread-local tune scratch, then measure a full search.
+    let warm_rule = search_ordered_rule(&data, &grid);
+    let (steady, rule) = count_allocs(|| search_ordered_rule(&data, &grid));
+    assert_eq!(
+        format!("{:?}", warm_rule.rule),
+        format!("{:?}", rule.rule),
+        "warm search must reproduce the same rule"
+    );
+    assert!(steady <= 192, "steady-state ordered search allocated {steady} times");
     msc_par::set_threads(0);
 }
 

@@ -8,6 +8,11 @@ use msc_obs::profile;
 fn profile_attributes_wall_clock_without_changing_results() {
     let _guard = profile::tests_serial();
     msc_par::set_threads(2);
+    // The batched engine folds this small early-stopped run into a
+    // single chunk, which par_map runs inline (no worker threads, no
+    // `par.worker` span). Force per-trial dispatch so the worker
+    // subtree this test asserts on actually exists.
+    msc_sim::engine::set_batch(1);
 
     let baseline = msc_sim::experiments::fig13::run(2, 7).render();
 
@@ -20,6 +25,7 @@ fn profile_attributes_wall_clock_without_changing_results() {
     };
     profile::disable();
     let prof = profile::take();
+    msc_sim::engine::set_batch(msc_sim::engine::DEFAULT_BATCH);
     msc_par::set_threads(0);
 
     assert_eq!(baseline, profiled, "profiling must not change the report");

@@ -50,6 +50,25 @@ fn cached_and_fresh_reports_identical_at_1_4_8_threads() {
 }
 
 #[test]
+fn trace_cache_reports_identical_at_1_4_8_threads() {
+    // The trace cache memoizes a pure, seed-keyed trace generation, so
+    // an identification report must be byte-identical with the cache on
+    // or off, at every thread count. fig7 exercises both the shared
+    // train set (hit on the second experiment run) and the ^0x5a5a test
+    // set under batched scoring and the incremental rule search.
+    let mut outputs = Vec::new();
+    for threads in ["1", "4", "8"] {
+        let cached = paper_stdout(&["fig7", "4", "42", "--threads", threads]);
+        let fresh = paper_stdout(&["fig7", "4", "42", "--threads", threads, "--no-trace-cache"]);
+        assert!(!cached.trim().is_empty(), "fig7 produced no output at {threads} threads");
+        assert_eq!(cached, fresh, "trace cache must not change results at {threads} threads");
+        outputs.push(cached);
+    }
+    assert_eq!(outputs[0], outputs[1], "trace cache: 1 vs 4 threads");
+    assert_eq!(outputs[0], outputs[2], "trace cache: 1 vs 8 threads");
+}
+
+#[test]
 fn legacy_engine_flags_are_thread_count_invariant() {
     // `--batch 1 --no-early-stop` selects the pre-batch per-trial code
     // path (seed-compatible output); it must stay byte-identical at
