@@ -146,6 +146,48 @@ fn rescan_search(
     best.expect("at least one permutation")
 }
 
+fn bench_fleet(c: &mut Criterion) {
+    // The deployment-scale fleet engine: carrier timelines, the MAC
+    // sweep with backoff/retries, and per-tag accounting — the unit of
+    // work behind one `paper fleet` scenario row. Synthetic ideal link
+    // table (no calibration cells) so the rows time the engine, not the
+    // packet pipeline.
+    use msc_fleet::traffic::{Arrivals, Stream};
+    use msc_fleet::{run, Backoff, FleetConfig, LinkTable, MacPolicy};
+
+    let carriers: Vec<Stream> = Protocol::ALL
+        .iter()
+        .map(|&p| Stream {
+            protocol: p,
+            arrivals: Arrivals::Poisson { rate: 800.0 },
+            airtime_s: 600e-6,
+            tag_bits_per_packet: 32,
+        })
+        .collect();
+    let link = LinkTable::ideal();
+    let mut group = c.benchmark_group("fleet");
+    for (tags, horizon_s) in [(100usize, 5.0f64), (500, 5.0), (500, 20.0)] {
+        let cfg = FleetConfig {
+            tags,
+            horizon_s,
+            carriers: carriers.clone(),
+            readings: Arrivals::Periodic { rate: 1.0 },
+            reading_bits: 64,
+            policy: MacPolicy::BestGoodput,
+            backoff: Backoff::default(),
+            energy: None,
+            queue_cap: 4,
+            sample_every: 0,
+            seed: 42,
+        };
+        let id = format!("tags{tags}/h{horizon_s:.0}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &cfg, |b, cfg| {
+            b.iter(|| run(black_box(cfg), &link, |_, _| 15.0))
+        });
+    }
+    group.finish();
+}
+
 fn bench_id_sweep(c: &mut Criterion) {
     // The batched identification engine, stage by stage at the fig7
     // operating point (10 Msps, hard traces): trace generation (the
@@ -191,6 +233,6 @@ fn bench_id_sweep(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pipeline, bench_tag_full_loop, bench_experiment_cell, bench_trial_batch, bench_id_sweep
+    targets = bench_pipeline, bench_tag_full_loop, bench_experiment_cell, bench_trial_batch, bench_fleet, bench_id_sweep
 }
 criterion_main!(benches);

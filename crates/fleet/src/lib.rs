@@ -1,0 +1,39 @@
+//! # msc-fleet — deployment-scale multi-tag backscatter simulation
+//!
+//! The paper evaluates one tag and one excitation source at a time; the
+//! system it proposes is a *deployment* — many battery-free sensors
+//! sharing the air with ambient Wi-Fi/BLE/ZigBee carriers. This crate
+//! simulates that deployment at scale:
+//!
+//! - [`traffic`] — packet arrival processes ([`traffic::Arrivals`]) for
+//!   carriers and sensor readings (moved down from `msc-sim`, which
+//!   re-exports it).
+//! - [`mac`] — the carrier-scheduling MAC: pluggable carrier-selection
+//!   policies ([`mac::MacPolicy`]) promoting the paper's
+//!   excitation-diversity heuristic into a policy layer, plus slotted
+//!   binary-exponential backoff ([`mac::Backoff`]) and intra-packet TDM
+//!   slot assignment ([`mac::slot_ranges`]).
+//! - [`link`] — the calibrated link abstraction ([`link::LinkTable`]):
+//!   PER-vs-SNR curves sampled from the full waveform pipeline once,
+//!   interpolated per packet so the engine can resolve millions of
+//!   outcomes per second.
+//! - [`engine`] — the event-driven fleet engine ([`engine::run`]):
+//!   carrier timelines and tag setup fan out through `msc-par` with
+//!   per-item derived seeds, a sequential MAC sweep resolves contention,
+//!   and the result is byte-identical at any `--threads`.
+//!
+//! The `paper fleet` workload in `msc-sim` calibrates the link table,
+//! builds the paper's four-carrier scenario, and reports fleet
+//! throughput, Jain fairness, collision, and starvation statistics
+//! through the schema-v3 `Report` path.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod link;
+pub mod mac;
+pub mod traffic;
+
+pub use engine::{run, AttemptSample, EnergyModel, FleetConfig, FleetResult};
+pub use link::LinkTable;
+pub use mac::{slot_ranges, Backoff, MacPolicy};

@@ -1,0 +1,177 @@
+//! Carrier-scheduling MAC: the paper's excitation-diversity heuristic
+//! (§4.2, Fig. 18) promoted into a policy layer for a *fleet* of tags.
+//!
+//! A single multiscatter tag picks the carrier with the highest expected
+//! backscattered goodput. Once hundreds of tags share the air, that pick
+//! becomes a medium-access problem: tags contending for the same carrier
+//! packet collide on the overlay channel. The MAC here answers both
+//! questions — *which carrier* a tag rides ([`MacPolicy`]) and *when* it
+//! transmits on it (slotted binary-exponential backoff, [`Backoff`],
+//! with carrier packets as the slot clock).
+
+use rand::Rng;
+
+/// How a tag picks the carrier for a transmission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacPolicy {
+    /// Static assignment: tag `t` always rides carrier `t mod n`.
+    /// Predictable load spread, blind to carrier quality.
+    FixedAssignment,
+    /// Each reading cycles to the next carrier (and each retry moves
+    /// on again) — spreads load without observing the channel.
+    RoundRobin,
+    /// The paper's excitation-diversity pick: rank carriers by expected
+    /// tag goodput `rate × tag-bits × (1 − PER(SNR))` *as seen by this
+    /// tag*, ride the best, and fall back to the next-best on each
+    /// retry — carrier diversity as a collision-recovery mechanism.
+    BestGoodput,
+}
+
+impl MacPolicy {
+    /// Short display label (report rows, metric protocol fields).
+    pub fn label(self) -> &'static str {
+        match self {
+            MacPolicy::FixedAssignment => "fixed",
+            MacPolicy::RoundRobin => "round-robin",
+            MacPolicy::BestGoodput => "best-goodput",
+        }
+    }
+
+    /// Every policy, in display order.
+    pub const ALL: [MacPolicy; 3] =
+        [MacPolicy::FixedAssignment, MacPolicy::RoundRobin, MacPolicy::BestGoodput];
+
+    /// Picks the carrier index for one attempt.
+    ///
+    /// * `tag` — the transmitting tag.
+    /// * `reading` — the tag's reading counter (round-robin state).
+    /// * `attempt` — 0 for the first try, incremented per retry.
+    /// * `ranked` — this tag's carriers sorted best-goodput-first.
+    pub fn pick(self, tag: usize, reading: u64, attempt: u32, ranked: &[u16]) -> usize {
+        let n = ranked.len();
+        debug_assert!(n > 0, "pick with no carriers");
+        match self {
+            MacPolicy::FixedAssignment => tag % n,
+            MacPolicy::RoundRobin => (tag + reading as usize + attempt as usize) % n,
+            MacPolicy::BestGoodput => ranked[attempt as usize % n] as usize,
+        }
+    }
+}
+
+/// Slotted binary-exponential backoff over carrier packets: attempt `k`
+/// draws a uniform delay in `[0, window(k))` *carrier packets* before
+/// transmitting, and a reading is dropped after `max_retries` failed
+/// attempts (collision or channel loss).
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// Contention window of the first attempt, in carrier packets.
+    pub cw_min: u32,
+    /// Ceiling the window doubles up to.
+    pub cw_max: u32,
+    /// Retries after the first attempt before the reading is dropped.
+    pub max_retries: u32,
+}
+
+impl Default for Backoff {
+    /// 802.11-flavoured defaults scaled to overlay slot economics:
+    /// window 8 → 256 packets, 6 retries.
+    fn default() -> Self {
+        Backoff { cw_min: 8, cw_max: 256, max_retries: 6 }
+    }
+}
+
+impl Backoff {
+    /// Contention window of attempt `k` (0-based), packets.
+    pub fn window(&self, attempt: u32) -> u32 {
+        (self.cw_min << attempt.min(16)).min(self.cw_max).max(1)
+    }
+
+    /// Draws the slot delay for attempt `k`: uniform in `[0, window)`.
+    pub fn draw<R: Rng>(&self, rng: &mut R, attempt: u32) -> u32 {
+        rng.gen_range(0..self.window(attempt))
+    }
+}
+
+/// Splits a packet's `capacity` tag-bit slots into contiguous
+/// fixed-assignment ranges, one per tag — the intra-packet TDM arm of
+/// [`MacPolicy::FixedAssignment`]: tags co-scheduled on the *same*
+/// carrier packet own disjoint sequence ranges, so their multiplicative
+/// modulations compose without colliding (the ext-multitag scheme).
+/// Earlier tags absorb the remainder when `capacity` doesn't divide.
+pub fn slot_ranges(capacity: usize, tags: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(tags > 0, "slot_ranges with no tags");
+    let base = capacity / tags;
+    let extra = capacity % tags;
+    let mut out = Vec::with_capacity(tags);
+    let mut start = 0;
+    for t in 0..tags {
+        let len = base + usize::from(t < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_assignment_is_static() {
+        let ranked = [2u16, 0, 1];
+        for attempt in 0..4 {
+            assert_eq!(MacPolicy::FixedAssignment.pick(7, 3, attempt, &ranked), 7 % 3);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_per_reading_and_retry() {
+        let ranked = [0u16, 1, 2, 3];
+        let first = MacPolicy::RoundRobin.pick(5, 0, 0, &ranked);
+        assert_eq!(MacPolicy::RoundRobin.pick(5, 1, 0, &ranked), (first + 1) % 4);
+        assert_eq!(MacPolicy::RoundRobin.pick(5, 0, 1, &ranked), (first + 1) % 4);
+    }
+
+    #[test]
+    fn best_goodput_follows_ranking_then_diversifies() {
+        let ranked = [3u16, 1, 0, 2];
+        assert_eq!(MacPolicy::BestGoodput.pick(9, 4, 0, &ranked), 3);
+        assert_eq!(MacPolicy::BestGoodput.pick(9, 4, 1, &ranked), 1, "retry falls to next-best");
+        assert_eq!(MacPolicy::BestGoodput.pick(9, 4, 4, &ranked), 3, "wraps around");
+    }
+
+    #[test]
+    fn backoff_doubles_to_ceiling() {
+        let b = Backoff::default();
+        assert_eq!(b.window(0), 8);
+        assert_eq!(b.window(1), 16);
+        assert_eq!(b.window(5), 256);
+        assert_eq!(b.window(9), 256, "capped at cw_max");
+        assert_eq!(b.window(40), 256, "shift amount saturates");
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..8 {
+            let d = b.draw(&mut rng, k);
+            assert!(d < b.window(k), "draw {d} outside window {}", b.window(k));
+        }
+    }
+
+    #[test]
+    fn slot_ranges_partition_capacity() {
+        for (cap, tags) in [(32, 2), (33, 2), (10, 3), (3, 5)] {
+            let ranges = slot_ranges(cap, tags);
+            assert_eq!(ranges.len(), tags);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous");
+                next = r.end;
+            }
+            assert_eq!(next, cap, "exhaustive");
+            let lens: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {lens:?}");
+        }
+        assert_eq!(slot_ranges(32, 2), vec![0..16, 16..32], "the ext-multitag split");
+    }
+}

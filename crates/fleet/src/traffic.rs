@@ -31,6 +31,16 @@ pub enum Arrivals {
 }
 
 impl Arrivals {
+    /// Long-run mean arrival rate, packets per second — the expected
+    /// throughput a carrier offers (used by the fleet MAC to rank
+    /// carriers by expected goodput without sampling the process).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            Arrivals::Periodic { rate } | Arrivals::Poisson { rate } => rate,
+            Arrivals::DutyCycled { rate, on_s, period_s, .. } => rate * on_s / period_s,
+        }
+    }
+
     /// Draws the next arrival strictly after `now`, or `None` if the
     /// process produces no more packets before `horizon`.
     pub fn next_after<R: Rng>(&self, rng: &mut R, now: f64, horizon: f64) -> Option<f64> {

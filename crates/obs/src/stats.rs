@@ -184,6 +184,21 @@ pub fn classify(a: &Proportion, b: &Proportion, z: f64) -> DiffClass {
     }
 }
 
+/// Jain's fairness index over a set of per-entity allocations:
+/// `(Σx)² / (n · Σx²)`. Ranges from `1/n` (one entity gets everything)
+/// to `1.0` (perfectly equal shares). Degenerate inputs — an empty
+/// slice or all-zero allocations, where every share is equally zero —
+/// report `1.0`.
+pub fn jain(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if n == 0.0 || sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +278,21 @@ mod tests {
         let i = Interval::new(10.0, 20.0).scaled(0.5);
         assert_eq!(i, Interval { lo: 5.0, hi: 10.0 });
         assert_eq!(i.half_width(), 2.5);
+    }
+
+    #[test]
+    fn jain_spans_equal_to_monopolized() {
+        assert!((jain(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12, "equal shares");
+        assert!((jain(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12, "monopoly = 1/n");
+        // 2:1 split across two entities: 9 / (2·5) = 0.9.
+        assert!((jain(&[2.0, 1.0]) - 0.9).abs() < 1e-12);
+        // Scale-invariant.
+        assert!((jain(&[20.0, 10.0]) - jain(&[2.0, 1.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate_inputs_are_fair() {
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0, 0.0]), 1.0);
     }
 }

@@ -77,7 +77,7 @@ fn usage() -> ! {
         "usage: paper <experiment|all> [n] [seed] [--full] [--ci] [--trace] [--profile] \
          [--threads N] [--batch N] [--no-early-stop] [--metrics-out <dir>] \
          [--no-wave-cache] [--no-trace-cache] [--no-progress] \
-         [--flight-slow-us N] [--no-flight]\n       paper list\n       \
+         [--flight-slow-us N] [--no-flight] [--fleet-phy]\n       paper list\n       \
          paper replay <bundle.json> [--threads N] [--trace]\n       \
          paper diff <runA> <runB> [--only-moved]\n       \
          paper diff --baseline <metrics-dir> [--only-moved]"
@@ -155,6 +155,11 @@ fn main() {
             // Disable adaptive per-cell early stopping: every cell
             // runs its full trial count.
             "--no-early-stop" => msc_sim::engine::set_early_stop(false),
+            // Validate the fleet link abstraction: replay a sampled
+            // subset of fleet attempts through the full waveform
+            // pipeline (fleet experiments only; changes report notes,
+            // so it feeds the archive config hash).
+            "--fleet-phy" => msc_sim::experiments::fleet::set_phy_check(true),
             // Skip arming the flight recorder under --metrics-out so
             // the archived run keeps the batched engine (an armed
             // recorder forces the legacy per-trial path).
@@ -366,6 +371,10 @@ fn main() {
             // values, since an armed flight recorder forces legacy.
             ("engine", if eff_batch > 1 { "batched" } else { "legacy" }.to_string()),
             ("early_stop", eff_early_stop.to_string()),
+            // Fleet knobs: the horizon scales every fleet count and the
+            // phy-check pass appends validation notes.
+            ("fleet_horizon", format!("{}", msc_sim::experiments::fleet::horizon_s())),
+            ("fleet_phy", msc_sim::experiments::fleet::phy_check().to_string()),
         ];
         for (id, json) in &archived {
             let key =

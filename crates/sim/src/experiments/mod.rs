@@ -18,6 +18,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod fleet;
 pub mod tab1;
 pub mod tables;
 
@@ -90,6 +91,8 @@ pub const REGISTRY: &[Experiment] = &[
     exp("abl-lag", "ablation: correlator lag-search radius", 10, ablations::abl_lag),
     exp("abl-cfo", "ablation: CFO tolerance per protocol", 6, ablations::abl_cfo),
     exp("tab4-dyn", "event-driven energy lifecycle (dynamic Table 4)", 0, energy_dyn::run),
+    exp("fleet", "deployment fleet: 500 tags × 4 carriers, MAC policies", 8, fleet::run),
+    exp("fleet-scale", "fleet scaling: deployment size sweep (best-goodput)", 8, fleet::run_scale),
 ];
 
 /// Looks up an experiment by id.
@@ -128,6 +131,8 @@ mod tests {
                 "tab4-dyn" => ("energy_dyn.rs".into(), "run".into()),
                 "fig13" | "fig14" => ("fig13.rs".into(), "run_deployment".into()),
                 "fig18-dyn" => ("fig18.rs".into(), "run_dynamic".into()),
+                "fleet" => ("fleet.rs".into(), "run".into()),
+                "fleet-scale" => ("fleet.rs".into(), "run_scale".into()),
                 t if t.starts_with("tab") => ("tables.rs".into(), t.into()),
                 t if t.starts_with("ext-") => ("extensions.rs".into(), t.replace('-', "_")),
                 t if t.starts_with("abl-") => ("ablations.rs".into(), t.replace('-', "_")),

@@ -101,6 +101,29 @@ fn batch_width_does_not_change_reports() {
 }
 
 #[test]
+fn fleet_report_identical_at_1_4_8_threads() {
+    // The fleet engine fans carrier timelines and tag setup across the
+    // pool with per-item derived seeds and resolves the MAC in one
+    // sequential sweep, so the deployment report — calibration cells
+    // included — must be byte-identical at every thread count. The
+    // shortened horizon keeps the scenario rows cheap while still
+    // exercising contention and retries end-to-end.
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_paper"))
+            .args(["fleet", "8", "42", "--threads", threads])
+            .env("MSC_FLEET_HORIZON_S", "3.0")
+            .output()
+            .expect("run paper binary");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf8 stdout")
+    };
+    let one = run("1");
+    assert!(one.contains("fleet —"), "fleet produced no report:\n{one}");
+    assert_eq!(one, run("4"), "fleet output must not depend on thread count (1 vs 4)");
+    assert_eq!(one, run("8"), "fleet output must not depend on thread count (1 vs 8)");
+}
+
+#[test]
 fn in_process_batch_is_thread_count_invariant() {
     use msc_core::overlay::Mode;
     use msc_phy::protocol::Protocol;
