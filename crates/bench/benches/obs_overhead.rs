@@ -116,9 +116,81 @@ fn bench_disabled_vs_enabled(c: &mut Criterion) {
     let _ = msc_obs::flight::take_dumps();
 }
 
+/// Event-stream sink overhead: the identification hot path emits no
+/// per-trial events (lifecycle events fire per cell, not per trial), so
+/// with the sink open the row must match `obs_disabled/identify_ordered`
+/// within noise — that gap is the events-on half of the <3% bound.
+fn bench_events_sink(c: &mut Criterion) {
+    let (matcher, rule, acq) = identify_setup();
+    let path = std::env::temp_dir().join(format!("msc_bench_events_{}.jsonl", std::process::id()));
+    let _guard = msc_obs::events::tests_serial();
+    msc_obs::events::open_path(path.to_str().expect("utf8 temp path")).expect("open event sink");
+    let mut group = c.benchmark_group("obs_events");
+    group.bench_function("identify_ordered", |b| {
+        b.iter(|| matcher.identify_ordered(black_box(&acq), 0, &rule))
+    });
+    group.bench_function("emit_event", |b| {
+        // Cost of one emitted line (format + seq + buffered write), the
+        // unit price of every cell/window/incident record.
+        b.iter(|| msc_obs::events::emit("bench", "\"cell\":\"bench/cell\",\"trials\":12", ""))
+    });
+    group.finish();
+    let _ = msc_obs::events::close();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// MAC tracing overhead: the fleet sweep with the no-op observer
+/// (monomorphized away) vs a full `MacTrace` (window aggregation,
+/// bounded log, detectors) — the fleet half of the <3% bound applies to
+/// the untraced row; the traced row prices `--events`/`--metrics-out`.
+fn bench_fleet_trace(c: &mut Criterion) {
+    use msc_fleet::traffic::{Arrivals, Stream};
+    use msc_fleet::{Backoff, FleetConfig, LinkTable, MacPolicy, MacTrace};
+    let cfg = FleetConfig {
+        tags: 40,
+        horizon_s: 4.0,
+        carriers: vec![
+            Stream {
+                protocol: Protocol::WifiN,
+                arrivals: Arrivals::Periodic { rate: 2000.0 },
+                airtime_s: 404e-6,
+                tag_bits_per_packet: 23,
+            },
+            Stream {
+                protocol: Protocol::Ble,
+                arrivals: Arrivals::Periodic { rate: 2976.0 },
+                airtime_s: 336e-6,
+                tag_bits_per_packet: 5,
+            },
+        ],
+        readings: Arrivals::Periodic { rate: 2.0 },
+        reading_bits: 64,
+        policy: MacPolicy::BestGoodput,
+        backoff: Backoff::default(),
+        energy: None,
+        queue_cap: 4,
+        sample_every: 0,
+        seed: 42,
+    };
+    let link = LinkTable::ideal();
+    let mut group = c.benchmark_group("obs_fleet");
+    group.bench_function("sweep_untraced", |b| {
+        b.iter(|| msc_fleet::run(black_box(&cfg), &link, |_, _| 18.0))
+    });
+    group.bench_function("sweep_traced", |b| {
+        b.iter(|| {
+            let mut tr = MacTrace::new(cfg.tags, cfg.carriers.len(), 1.0, Default::default());
+            let r = msc_fleet::run_with(black_box(&cfg), &link, |_, _| 18.0, &mut tr);
+            tr.finish();
+            (r, tr)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_disabled_vs_enabled
+    targets = bench_disabled_vs_enabled, bench_events_sink, bench_fleet_trace
 }
 criterion_main!(benches);

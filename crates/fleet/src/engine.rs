@@ -25,6 +25,7 @@
 
 use crate::link::LinkTable;
 use crate::mac::{Backoff, MacPolicy};
+use crate::obs::{MacEvent, MacObserver, NoopObserver};
 use crate::traffic::{Arrivals, Stream};
 use msc_analog::harvester::{EnergyBuffer, Light, SolarHarvester};
 use msc_par::{derive_seed, par_map_indexed};
@@ -120,6 +121,34 @@ pub struct AttemptSample {
     pub success: bool,
 }
 
+/// Always-on per-carrier tallies — the carrier-level breakdown the
+/// run-level [`FleetResult`] counters sum over. Indexed like
+/// [`FleetConfig::carriers`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CarrierTally {
+    /// Excitation packets this carrier emitted.
+    pub packets: u64,
+    /// Packets no tag modulated.
+    pub idle: u64,
+    /// Transmission attempts that rode this carrier.
+    pub attempts: u64,
+    /// Readings delivered on this carrier.
+    pub delivered: u64,
+    /// Attempts lost to tag–tag collisions on this carrier.
+    pub collided_attempts: u64,
+    /// Packets on which ≥ 2 tags modulated.
+    pub collision_slots: u64,
+    /// Attempts lost to the channel on this carrier.
+    pub channel_losses: u64,
+}
+
+impl CarrierTally {
+    /// Fraction of this carrier's packets at least one tag modulated.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.idle as f64 / self.packets.max(1) as f64
+    }
+}
+
 /// Aggregate outcome of one fleet run.
 #[derive(Clone, Debug, Default)]
 pub struct FleetResult {
@@ -147,6 +176,8 @@ pub struct FleetResult {
     pub starved: u64,
     /// Carrier packets no tag modulated.
     pub idle_packets: u64,
+    /// Per-carrier breakdown of packets / attempts / outcomes.
+    pub per_carrier: Vec<CarrierTally>,
     /// Per-tag offered readings.
     pub per_tag_offered: Vec<u32>,
     /// Per-tag delivered readings.
@@ -244,6 +275,18 @@ pub fn run<F>(cfg: &FleetConfig, link: &LinkTable, snr_of: F) -> FleetResult
 where
     F: Fn(f64, Protocol) -> f64 + Sync,
 {
+    run_with(cfg, link, snr_of, &mut NoopObserver)
+}
+
+/// [`run`] with a [`MacObserver`] receiving every MAC-layer event from
+/// the sequential phase-3 sweep. The observer never touches the RNG,
+/// so the [`FleetResult`] is byte-identical to an unobserved run; with
+/// [`NoopObserver`] every hook monomorphizes away.
+pub fn run_with<F, O>(cfg: &FleetConfig, link: &LinkTable, snr_of: F, obs: &mut O) -> FleetResult
+where
+    F: Fn(f64, Protocol) -> f64 + Sync,
+    O: MacObserver,
+{
     assert!(!cfg.carriers.is_empty(), "fleet needs at least one carrier");
     assert!(cfg.tags > 0, "fleet needs at least one tag");
     let n_carriers = cfg.carriers.len();
@@ -316,6 +359,7 @@ where
     // Phase 3: sequential MAC sweep.
     let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, CELL_MAC, 0));
     let mut out = FleetResult {
+        per_carrier: vec![CarrierTally::default(); n_carriers],
         per_tag_offered: vec![0; cfg.tags],
         per_tag_delivered: vec![0; cfg.tags],
         horizon_s: cfg.horizon_s,
@@ -332,14 +376,20 @@ where
     let mut state: Vec<TagState> = vec![TagState::default(); cfg.tags];
 
     // Schedules tag `g`'s current attempt: policy pick + backoff draw.
-    let schedule =
-        |g: u32, st: &TagState, rng: &mut StdRng, rings: &mut [Vec<Vec<u32>>], emitted: &[u64]| {
-            let setup = &tags[g as usize];
-            let c = cfg.policy.pick(g as usize, st.reading_no, st.attempt, &setup.ranked);
-            let b = cfg.backoff.draw(rng, st.attempt) as u64;
-            let slot = emitted[c] + 1 + b;
-            rings[c][(slot % ring_len as u64) as usize].push(g);
-        };
+    let schedule = |g: u32,
+                    st: &TagState,
+                    t: f64,
+                    rng: &mut StdRng,
+                    rings: &mut [Vec<Vec<u32>>],
+                    emitted: &[u64],
+                    obs: &mut O| {
+        let setup = &tags[g as usize];
+        let c = cfg.policy.pick(g as usize, st.reading_no, st.attempt, &setup.ranked);
+        let b = cfg.backoff.draw(rng, st.attempt) as u64;
+        let slot = emitted[c] + 1 + b;
+        obs.on_event(MacEvent::Backoff { t, tag: g, carrier: c as u16, attempt: st.attempt, slot });
+        rings[c][(slot % ring_len as u64) as usize].push(g);
+    };
 
     let mut drained: Vec<u32> = Vec::new();
     for ev in &events {
@@ -347,10 +397,12 @@ where
             Event::Reading { time, tag } => {
                 out.offered += 1;
                 out.per_tag_offered[tag as usize] += 1;
+                obs.on_event(MacEvent::Reading { t: time, tag });
                 let setup = &tags[tag as usize];
                 if let Some(e) = cfg.energy {
                     if !e.powered(time, setup.energy_phase) {
                         out.starved += 1;
+                        obs.on_event(MacEvent::Starved { t: time, tag });
                         continue;
                     }
                 }
@@ -358,8 +410,10 @@ where
                 if st.busy {
                     if (st.queued as usize) < cfg.queue_cap {
                         st.queued += 1;
+                        obs.on_event(MacEvent::Enqueue { t: time, tag, depth: st.queued });
                     } else {
                         out.queue_drops += 1;
+                        obs.on_event(MacEvent::QueueDrop { t: time, tag });
                     }
                     continue;
                 }
@@ -367,20 +421,32 @@ where
                 st.attempt = 0;
                 st.reading_no += 1;
                 let st = state[tag as usize];
-                schedule(tag, &st, &mut rng, &mut rings, &emitted);
+                schedule(tag, &st, time, &mut rng, &mut rings, &emitted, obs);
             }
             Event::Carrier { time, carrier } => {
                 let c = carrier as usize;
                 let k = emitted[c];
                 emitted[c] += 1;
                 out.carrier_packets += 1;
+                out.per_carrier[c].packets += 1;
                 drained.clear();
                 drained.append(&mut rings[c][(k % ring_len as u64) as usize]);
+                obs.on_event(MacEvent::Packet { t: time, carrier, mods: drained.len() as u32 });
                 match drained.len() {
-                    0 => out.idle_packets += 1,
+                    0 => {
+                        out.idle_packets += 1;
+                        out.per_carrier[c].idle += 1;
+                    }
                     1 => {
                         let g = drained[0];
                         out.attempts += 1;
+                        out.per_carrier[c].attempts += 1;
+                        obs.on_event(MacEvent::Attempt {
+                            t: time,
+                            tag: g,
+                            carrier,
+                            attempt: state[g as usize].attempt,
+                        });
                         let setup = &tags[g as usize];
                         // A tag that hit its charge interval mid-backoff
                         // cannot modulate: the attempt fails like a
@@ -401,15 +467,21 @@ where
                         }
                         if lost {
                             out.channel_losses += 1;
+                            out.per_carrier[c].channel_losses += 1;
+                            obs.on_event(MacEvent::ChannelLoss { t: time, tag: g, carrier });
                             retry(
-                                g, cfg, &mut state, &mut out, &mut rng, &mut rings, &emitted,
-                                &schedule,
+                                g, time, cfg, &mut state, &mut out, &mut rng, &mut rings, &emitted,
+                                &schedule, obs,
                             );
                         } else {
                             out.delivered += 1;
                             out.delivered_bits += cfg.reading_bits as u64;
                             out.per_tag_delivered[g as usize] += 1;
-                            finish(g, &mut state, &mut rng, &mut rings, &emitted, &schedule);
+                            out.per_carrier[c].delivered += 1;
+                            obs.on_event(MacEvent::Delivery { t: time, tag: g, carrier });
+                            finish(
+                                g, time, &mut state, &mut rng, &mut rings, &emitted, &schedule, obs,
+                            );
                         }
                     }
                     _ => {
@@ -418,11 +490,27 @@ where
                         out.collision_slots += 1;
                         out.attempts += drained.len() as u64;
                         out.collided_attempts += drained.len() as u64;
+                        out.per_carrier[c].collision_slots += 1;
+                        out.per_carrier[c].attempts += drained.len() as u64;
+                        out.per_carrier[c].collided_attempts += drained.len() as u64;
+                        for i in 0..drained.len() {
+                            obs.on_event(MacEvent::Attempt {
+                                t: time,
+                                tag: drained[i],
+                                carrier,
+                                attempt: state[drained[i] as usize].attempt,
+                            });
+                        }
+                        obs.on_event(MacEvent::Collision {
+                            t: time,
+                            carrier,
+                            tags: drained.len() as u32,
+                        });
                         for i in 0..drained.len() {
                             let g = drained[i];
                             retry(
-                                g, cfg, &mut state, &mut out, &mut rng, &mut rings, &emitted,
-                                &schedule,
+                                g, time, cfg, &mut state, &mut out, &mut rng, &mut rings, &emitted,
+                                &schedule, obs,
                             );
                         }
                     }
@@ -436,8 +524,9 @@ where
 /// Advances tag `g` past a failed attempt: rescheduled with a doubled
 /// window, or dropped once the retry budget is spent.
 #[allow(clippy::too_many_arguments)]
-fn retry<S>(
+fn retry<S, O>(
     g: u32,
+    t: f64,
     cfg: &FleetConfig,
     state: &mut [TagState],
     out: &mut FleetResult,
@@ -445,30 +534,37 @@ fn retry<S>(
     rings: &mut [Vec<Vec<u32>>],
     emitted: &[u64],
     schedule: &S,
+    obs: &mut O,
 ) where
-    S: Fn(u32, &TagState, &mut StdRng, &mut [Vec<Vec<u32>>], &[u64]),
+    S: Fn(u32, &TagState, f64, &mut StdRng, &mut [Vec<Vec<u32>>], &[u64], &mut O),
+    O: MacObserver,
 {
     state[g as usize].attempt += 1;
     if state[g as usize].attempt > cfg.backoff.max_retries {
         out.retry_drops += 1;
-        finish(g, state, rng, rings, emitted, schedule);
+        obs.on_event(MacEvent::RetryDrop { t, tag: g });
+        finish(g, t, state, rng, rings, emitted, schedule, obs);
     } else {
         let st = state[g as usize];
-        schedule(g, &st, rng, rings, emitted);
+        schedule(g, &st, t, rng, rings, emitted, obs);
     }
 }
 
 /// Completes tag `g`'s current reading (delivered or abandoned) and
 /// starts the next queued one, if any.
-fn finish<S>(
+#[allow(clippy::too_many_arguments)]
+fn finish<S, O>(
     g: u32,
+    t: f64,
     state: &mut [TagState],
     rng: &mut StdRng,
     rings: &mut [Vec<Vec<u32>>],
     emitted: &[u64],
     schedule: &S,
+    obs: &mut O,
 ) where
-    S: Fn(u32, &TagState, &mut StdRng, &mut [Vec<Vec<u32>>], &[u64]),
+    S: Fn(u32, &TagState, f64, &mut StdRng, &mut [Vec<Vec<u32>>], &[u64], &mut O),
+    O: MacObserver,
 {
     let st = &mut state[g as usize];
     if st.queued > 0 {
@@ -476,7 +572,7 @@ fn finish<S>(
         st.attempt = 0;
         st.reading_no += 1;
         let st = state[g as usize];
-        schedule(g, &st, rng, rings, emitted);
+        schedule(g, &st, t, rng, rings, emitted, obs);
     } else {
         st.busy = false;
     }
@@ -534,6 +630,43 @@ mod tests {
         assert_eq!(r.per_tag_offered.iter().map(|&x| x as u64).sum::<u64>(), r.offered);
         assert_eq!(r.per_tag_delivered.iter().map(|&x| x as u64).sum::<u64>(), r.delivered);
         assert_eq!(r.delivered_bits, r.delivered * 64);
+        // Per-carrier tallies partition the run-level counters.
+        let sum = |f: fn(&CarrierTally) -> u64| r.per_carrier.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|c| c.packets), r.carrier_packets);
+        assert_eq!(sum(|c| c.idle), r.idle_packets);
+        assert_eq!(sum(|c| c.attempts), r.attempts);
+        assert_eq!(sum(|c| c.delivered), r.delivered);
+        assert_eq!(sum(|c| c.collided_attempts), r.collided_attempts);
+        assert_eq!(sum(|c| c.collision_slots), r.collision_slots);
+        assert_eq!(sum(|c| c.channel_losses), r.channel_losses);
+    }
+
+    #[test]
+    fn tracing_observer_does_not_change_results() {
+        use crate::obs::{Detectors, MacTrace};
+        let mut cfg = base_cfg();
+        cfg.energy = Some(EnergyModel { charge_s: 3.0, run_s: 1.0 });
+        cfg.horizon_s = 8.0;
+        let mut link = LinkTable::ideal();
+        link.insert(Protocol::WifiN, 10.0, 0.3);
+        let snr = |u: f64, _p: Protocol| 5.0 + 20.0 * u;
+        let plain = run(&cfg, &link, snr);
+        let mut tr = MacTrace::new(cfg.tags, cfg.carriers.len(), 1.0, Detectors::default());
+        let traced = run_with(&cfg, &link, snr, &mut tr);
+        tr.finish();
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"), "observer must be passive");
+        // The trace's window aggregates cover the same run.
+        let offered: u64 = tr.windows.iter().map(|w| w.offered as u64).sum();
+        assert_eq!(offered, traced.offered);
+        let delivered: u64 = tr.windows.iter().map(|w| w.delivered_total()).sum();
+        assert_eq!(delivered, traced.delivered);
+        let packets: u64 =
+            tr.windows.iter().flat_map(|w| w.packets.iter()).map(|&x| x as u64).sum();
+        assert_eq!(packets, traced.carrier_packets);
+        let starved: u64 = tr.windows.iter().map(|w| w.starved as u64).sum();
+        assert_eq!(starved, traced.starved);
+        assert!(!tr.log.is_empty());
+        assert_eq!(tr.log_dropped, 0);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   carrier timelines and tag setup fan out through `msc-par` with
 //!   per-item derived seeds, a sequential MAC sweep resolves contention,
 //!   and the result is byte-identical at any `--threads`.
+//! - [`obs`] — MAC event tracing: [`engine::run_with`] feeds every
+//!   sweep event to a [`obs::MacObserver`]; [`obs::MacTrace`]
+//!   aggregates ~1 s windows, keeps a bounded event log, and flags
+//!   starvation / collision-burst incidents for `paper fleet-replay`.
 //!
 //! The `paper fleet` workload in `msc-sim` calibrates the link table,
 //! builds the paper's four-carrier scenario, and reports fleet
@@ -32,8 +36,12 @@
 pub mod engine;
 pub mod link;
 pub mod mac;
+pub mod obs;
 pub mod traffic;
 
-pub use engine::{run, AttemptSample, EnergyModel, FleetConfig, FleetResult};
+pub use engine::{
+    run, run_with, AttemptSample, CarrierTally, EnergyModel, FleetConfig, FleetResult,
+};
 pub use link::LinkTable;
 pub use mac::{slot_ranges, Backoff, MacPolicy};
+pub use obs::{Detectors, Incident, MacEvent, MacObserver, MacTrace, NoopObserver, WindowAgg};

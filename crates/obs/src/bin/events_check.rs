@@ -1,0 +1,123 @@
+//! CI helper: validates a `paper --events` JSONL stream read from
+//! stdin (or a file argument).
+//!
+//! Usage: `paper fleet --events - | events_check` or
+//! `events_check <events.jsonl>`
+//!
+//! Checks:
+//! * every line parses as a JSON object;
+//! * every line carries the current `schema_version`, a `kind`, and a
+//!   `wall` object (the volatile suffix [`strip_volatile`] removes);
+//! * `seq` is strictly increasing across the stream;
+//! * the stream opens with `run_start` and closes with `run_end`, and
+//!   `run_end` carries the deterministic totals (`cells`, `trials`,
+//!   `events_dropped`);
+//! * stripping the volatile suffix leaves valid JSON.
+//!
+//! Exits 0 with a per-kind summary on success, 1 with a message on any
+//! violation.
+//!
+//! [`strip_volatile`]: msc_obs::events::strip_volatile
+
+use msc_obs::events::strip_volatile;
+use msc_obs::export::parse_json;
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn check(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+    let mut first_kind = String::new();
+    let mut last_kind = String::new();
+    let mut last_line = String::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let v = parse_json(line).map_err(|e| format!("line {n}: {e}"))?;
+        let version =
+            v.get("schema_version")
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("line {n}: missing schema_version"))? as u32;
+        if version != msc_obs::SCHEMA_VERSION {
+            return Err(format!(
+                "line {n}: schema_version {version} != {}",
+                msc_obs::SCHEMA_VERSION
+            ));
+        }
+        let seq =
+            v.get("seq").and_then(|x| x.as_f64()).ok_or_else(|| format!("line {n}: missing seq"))?
+                as u64;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!("line {n}: seq {seq} not strictly above {prev}"));
+            }
+        }
+        last_seq = Some(seq);
+        let kind = v
+            .get("kind")
+            .and_then(|x| x.as_str())
+            .filter(|k| !k.is_empty())
+            .ok_or_else(|| format!("line {n}: missing kind"))?;
+        v.get("wall")
+            .and_then(|w| w.get("t_us"))
+            .ok_or_else(|| format!("line {n}: missing wall.t_us"))?;
+        parse_json(&strip_volatile(line))
+            .map_err(|e| format!("line {n}: stripped form is not valid JSON: {e}"))?;
+        if first_kind.is_empty() {
+            first_kind = kind.to_string();
+        }
+        last_kind = kind.to_string();
+        last_line = line.to_string();
+        *kinds.entry(kind.to_string()).or_insert(0) += 1;
+    }
+    if last_seq.is_none() {
+        return Err("event stream is empty".to_string());
+    }
+    if first_kind != "run_start" {
+        return Err(format!("stream opens with {first_kind:?}, expected \"run_start\""));
+    }
+    if last_kind != "run_end" {
+        return Err(format!("stream closes with {last_kind:?}, expected \"run_end\""));
+    }
+    let end = parse_json(&last_line).expect("already parsed");
+    for field in ["cells", "trials", "events_dropped"] {
+        if end.get(field).and_then(|x| x.as_f64()).is_none() {
+            return Err(format!("run_end missing total {field:?}"));
+        }
+    }
+    Ok(kinds)
+}
+
+fn main() -> ExitCode {
+    let mut text = String::new();
+    let read = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}")),
+        None => std::io::stdin()
+            .read_to_string(&mut text)
+            .map(|_| std::mem::take(&mut text))
+            .map_err(|e| format!("read stdin: {e}")),
+    };
+    let text = match read {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("events_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(kinds) => {
+            let total: u64 = kinds.values().sum();
+            let summary: Vec<String> =
+                kinds.iter().map(|(k, c)| format!("{k}\u{00d7}{c}")).collect();
+            eprintln!("events_check: {total} event(s) OK ({})", summary.join(", "));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("events_check: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,6 +21,10 @@
 //!   (flamegraph-compatible) and JSON output (`paper --profile`).
 //! * **Flight recorder** ([`flight`]): a bounded ring of per-trial
 //!   context that dumps replayable failure bundles (`paper replay`).
+//! * **Event stream** ([`events`]): a bounded run-scoped JSONL sink
+//!   (`paper --events`) of schema-versioned, sequence-numbered run /
+//!   experiment / cell / fleet-window records whose deterministic
+//!   prefix is byte-identical at any thread count.
 //! * **Live progress** ([`progress`]) and **pool utilization**
 //!   ([`pool`]): run-level counters and the stderr ticker.
 //! * **Estimator statistics** ([`stats`]): Wilson-score confidence
@@ -46,6 +50,7 @@
 
 pub mod archive;
 pub mod diff;
+pub mod events;
 pub mod export;
 pub mod flight;
 pub mod manifest;

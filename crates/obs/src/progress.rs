@@ -41,10 +41,26 @@ pub fn add_trials(n: u64) {
     TRIALS.fetch_add(n, Ordering::Relaxed);
 }
 
-/// Marks one experiment finished (drives the ETA).
+/// Marks one experiment finished (drives the ETA). When the event
+/// sink is open this also emits a `progress` event: the counter
+/// snapshot is deterministic at experiment boundaries (the same work
+/// ran regardless of thread count), so the tick joins the
+/// deterministic stream; worker utilization rides the volatile
+/// `wall` object.
 #[inline]
 pub fn experiment_done() {
     EXPERIMENTS_DONE.fetch_add(1, Ordering::Relaxed);
+    if crate::events::enabled() {
+        let c = counters();
+        crate::events::emit(
+            "progress",
+            &format!(
+                "\"experiments_done\":{},\"experiments_total\":{},\"cells\":{},\"trials\":{}",
+                c.experiments_done, c.experiments_total, c.cells, c.trials
+            ),
+            &format!("\"util\":{:.3}", crate::pool::snapshot().utilization()),
+        );
+    }
 }
 
 /// A snapshot of the progress counters.

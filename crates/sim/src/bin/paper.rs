@@ -60,6 +60,25 @@
 //! statistic's Wilson-interval half-width plus a `✓`/`?` convergence
 //! mark. Like the other observability flags it never changes results.
 //!
+//! `--events <path|->` opens the structured event stream: one JSONL
+//! record per run / experiment / cell boundary, per progress tick, and
+//! per fleet MAC window, schema-versioned and sequence-numbered. With
+//! `-` the stream goes to stdout and the report tables move to stderr.
+//! Every field before the trailing `"wall"` object is deterministic —
+//! stripped of `"wall"`, the stream is byte-identical at any
+//! `--threads`. Like the other observability flags it never changes
+//! results, so it stays outside the archive config hash.
+//!
+//! The event sink or `--metrics-out` also turns on fleet MAC tracing:
+//! `paper fleet` runs under a per-event observer whose anomaly
+//! detectors (tag starved past `MSC_FLEET_STARVE_S` seconds, window
+//! collision rate past `MSC_FLEET_COLLISION_RATE`, `--fleet-phy`
+//! DIVERGENT verdicts) dump replayable incident bundles under
+//! `<metrics-out>/flight/incident_*.json`. `fleet-replay <bundle>`
+//! re-runs exactly that scenario window through the three-phase
+//! derived-seed contract and verifies the recorded event subsequence
+//! bit-for-bit (exit 0 REPRODUCED / 1 MISMATCH).
+//!
 //! `--metrics-out` additionally archives every report under
 //! `<dir>/archive/` keyed by (experiment, seed, git rev, config hash) —
 //! thread count excluded, since reports are thread-count invariant.
@@ -76,9 +95,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: paper <experiment|all> [n] [seed] [--full] [--ci] [--trace] [--profile] \
          [--threads N] [--batch N] [--no-early-stop] [--metrics-out <dir>] \
-         [--no-wave-cache] [--no-trace-cache] [--no-progress] \
+         [--events <path|->] [--no-wave-cache] [--no-trace-cache] [--no-progress] \
          [--flight-slow-us N] [--no-flight] [--fleet-phy]\n       paper list\n       \
          paper replay <bundle.json> [--threads N] [--trace]\n       \
+         paper fleet-replay <incident.json> [--threads N]\n       \
          paper diff <runA> <runB> [--only-moved]\n       \
          paper diff --baseline <metrics-dir> [--only-moved]"
     );
@@ -114,6 +134,7 @@ fn main() {
     let mut flight_slow_us = f64::INFINITY;
     let mut no_flight = false;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut events_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -178,6 +199,15 @@ fn main() {
                 };
                 metrics_out = Some(PathBuf::from(dir));
             }
+            // Structured event stream: JSONL to a file, or to stdout
+            // with `-` (report tables then move to stderr).
+            "--events" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--events needs a path (or -)\n");
+                    usage();
+                };
+                events_path = Some(path.clone());
+            }
             s if s.starts_with("--") => {
                 eprintln!("unknown flag: {s}\n");
                 usage();
@@ -200,6 +230,14 @@ fn main() {
         std::process::exit(run_replay(path, trace));
     }
 
+    if which == "fleet-replay" {
+        let Some(path) = positional.get(1) else {
+            eprintln!("fleet-replay needs an incident bundle path\n");
+            usage();
+        };
+        std::process::exit(run_fleet_replay(path));
+    }
+
     if which == "diff" {
         std::process::exit(run_diff(&positional[1..], baseline, only_moved));
     }
@@ -215,6 +253,11 @@ fn main() {
         msc_obs::profile::reset();
         msc_obs::profile::enable();
     }
+    // MAC event tracing rides along whenever something will consume it:
+    // the event sink, or the metrics/flight chain under --metrics-out.
+    msc_sim::experiments::fleet::set_trace(events_path.is_some() || metrics_out.is_some());
+    // With `--events -` the stream owns stdout; tables move to stderr.
+    let events_stdout = events_path.as_deref() == Some("-");
     let flight_armed = metrics_out.is_some() && !no_flight;
     // The pipeline falls back to the legacy per-trial engine at full n
     // whenever the flight recorder is armed (its hooks instrument that
@@ -252,12 +295,22 @@ fn main() {
                    manifest: &mut Option<msc_obs::RunManifest>| {
         let id = exp.id;
         msc_obs::metrics::set_experiment(id);
+        if msc_obs::events::enabled() {
+            msc_obs::events::emit("experiment_start", &format!("\"id\":\"{id}\""), "");
+        }
         let frame = msc_obs::profile::scope(id);
         let t0 = std::time::Instant::now();
         let report = (exp.run)(n, seed);
         let wall = t0.elapsed().as_secs_f64();
         drop(frame);
         msc_obs::progress::experiment_done();
+        if msc_obs::events::enabled() {
+            msc_obs::events::emit(
+                "experiment_end",
+                &format!("\"id\":\"{id}\",\"rows\":{}", report.len()),
+                &format!("\"wall_s\":{wall:.3}"),
+            );
+        }
         if let Some(m) = manifest.as_mut() {
             m.record(id, wall, report.len());
         }
@@ -271,9 +324,34 @@ fn main() {
     };
 
     let total = if which == "all" { REGISTRY.len() } else { 1 };
+    if let Some(path) = &events_path {
+        if let Err(e) = msc_obs::events::open_path(path) {
+            eprintln!("cannot open events sink {path}: {e}");
+            std::process::exit(2);
+        }
+        msc_obs::events::emit(
+            "run_start",
+            &format!(
+                "\"which\":\"{}\",\"n\":{n},\"seed\":{seed},\"full\":{full},\
+                 \"experiments\":{total}",
+                msc_obs::export::json_escape(which)
+            ),
+            &format!("\"threads\":{}", msc_par::threads()),
+        );
+    }
+    let run_t0 = std::time::Instant::now();
     msc_obs::progress::reset(total as u64);
     let ticker = if no_progress { None } else { Some(msc_obs::progress::start(total as u64)) };
     let root = msc_obs::profile::scope("paper.run");
+
+    // Tables go to stdout, unless the event stream owns it.
+    let print_report = |s: String| {
+        if events_stdout {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
 
     // Reports kept in memory for the archive (id, table JSON).
     let mut archived: Vec<(String, String)> = Vec::new();
@@ -281,8 +359,8 @@ fn main() {
         "all" => {
             for exp in REGISTRY {
                 let (report, wall) = run_one(exp, &mut manifest);
-                println!("{}", if ci { report.render_ci() } else { report.render() });
-                println!("  [{} done in {wall:.1}s]\n", exp.id);
+                print_report(if ci { report.render_ci() } else { report.render() });
+                print_report(format!("  [{} done in {wall:.1}s]\n", exp.id));
                 if metrics_out.is_some() {
                     archived.push((exp.id.to_string(), report.to_json()));
                 }
@@ -294,7 +372,7 @@ fn main() {
                 usage();
             };
             let (report, _) = run_one(exp, &mut manifest);
-            println!("{}", if ci { report.render_ci() } else { report.render() });
+            print_report(if ci { report.render_ci() } else { report.render() });
             if metrics_out.is_some() {
                 archived.push((exp.id.to_string(), report.to_json()));
             }
@@ -314,6 +392,7 @@ fn main() {
         if flight_armed {
             write_flight_bundles(dir, n);
         }
+        write_fleet_incidents(dir);
         // Steady-state cache effectiveness: FFT-plan/scratch registry
         // counters, the waveform cache, and the worker pool / flight /
         // progress totals.
@@ -345,6 +424,12 @@ fn main() {
         g("flight.suppressed", "obs", "", fs.suppressed as f64);
         g("progress.cells", "obs", "", pc.cells as f64);
         g("progress.trials", "obs", "", pc.trials as f64);
+        // Run-level throughput: the ticker's final totals, recorded
+        // even for --no-progress CI runs.
+        let run_wall = run_t0.elapsed().as_secs_f64().max(1e-9);
+        g("progress.experiments", "obs", "", pc.experiments_done as f64);
+        g("progress.trials_per_s", "obs", "", pc.trials as f64 / run_wall);
+        g("progress.wall_s", "obs", "", run_wall);
         let snap = msc_obs::metrics::Registry::global().snapshot();
         let write = |name: &str, body: String| {
             let path = dir.join(name);
@@ -400,6 +485,89 @@ fn main() {
     if profile {
         write_profile(metrics_out.as_deref());
     }
+
+    if msc_obs::events::enabled() {
+        // Terminal event: the progress ticker's final totals, emitted
+        // past the cap so a capped run still records them. Counter
+        // totals are deterministic; rates and utilization are not and
+        // ride the wall object.
+        let pc = msc_obs::progress::counters();
+        let dropped = msc_obs::events::stats().dropped;
+        let wall = run_t0.elapsed().as_secs_f64().max(1e-9);
+        msc_obs::events::emit_terminal(
+            "run_end",
+            &format!(
+                "\"experiments\":{},\"cells\":{},\"trials\":{},\"events_dropped\":{dropped}",
+                pc.experiments_done, pc.cells, pc.trials
+            ),
+            &format!(
+                "\"wall_s\":{:.3},\"trials_per_s\":{:.1},\"util\":{:.3}",
+                wall,
+                pc.trials as f64 / wall,
+                msc_obs::pool::snapshot().utilization()
+            ),
+        );
+        if let Some(st) = msc_obs::events::close() {
+            eprintln!("[events] {} event(s) written ({} dropped past cap)", st.written, st.dropped);
+        }
+    }
+}
+
+/// `paper fleet-replay <incident.json>`: re-run the scenario window a
+/// fleet incident bundle captured and verify its event subsequence
+/// bit-for-bit. Returns the process exit code (0 REPRODUCED,
+/// 1 MISMATCH, 2 bad bundle).
+fn run_fleet_replay(path: &str) -> i32 {
+    match msc_sim::experiments::fleet::replay_incident(path) {
+        Ok(out) => {
+            eprintln!(
+                "[fleet-replay] {} incident in {} — {} recorded event(s)",
+                out.reason, out.scenario, out.expected
+            );
+            if out.reproduced() {
+                println!("REPRODUCED: replay matches the bundle's event subsequence bit-for-bit");
+                0
+            } else {
+                if let Some((i, a, b)) = &out.first_diff {
+                    eprintln!("  first diff at event {i}:\n    recorded {a}\n    replayed {b}");
+                }
+                println!(
+                    "MISMATCH: {} of {} event position(s) diverged",
+                    out.diffs,
+                    out.expected.max(1)
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("fleet-replay failed: {e}");
+            2
+        }
+    }
+}
+
+/// Drains the fleet MAC incidents recorded during traced runs and
+/// writes each as a replayable bundle under `<dir>/flight/`.
+fn write_fleet_incidents(dir: &std::path::Path) {
+    let incidents = msc_sim::experiments::fleet::take_incidents();
+    if incidents.is_empty() {
+        return;
+    }
+    let flight_dir = dir.join("flight");
+    if let Err(e) = std::fs::create_dir_all(&flight_dir) {
+        eprintln!("failed to create {}: {e}", flight_dir.display());
+        return;
+    }
+    for (slug, json) in &incidents {
+        let path = flight_dir.join(format!("incident_{slug}.json"));
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| eprintln!("failed to write {}: {e}", path.display()));
+    }
+    eprintln!(
+        "[flight] {} fleet incident(s) written to {} — inspect with `paper fleet-replay <bundle>`",
+        incidents.len(),
+        flight_dir.display()
+    );
 }
 
 /// Drains the flight recorder and writes each dump as a replayable

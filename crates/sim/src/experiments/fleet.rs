@@ -13,18 +13,31 @@
 //! fleet's single-tag attempts through the full pipeline and classifies
 //! abstraction-vs-pipeline divergence with the same interval-overlap
 //! test `paper diff` uses.
+//!
+//! When the event sink or `--metrics-out` is active ([`set_trace`]) the
+//! scenarios additionally run under a [`MacTrace`] observer: per-window
+//! `fleet_window` events and summary gauges join the export chain, and
+//! anomaly detectors (tag starved past `MSC_FLEET_STARVE_S`, window
+//! collision rate past `MSC_FLEET_COLLISION_RATE`, `--fleet-phy`
+//! DIVERGENT verdicts) dump replayable incident bundles that
+//! `paper fleet-replay` re-runs and verifies bit-for-bit
+//! ([`replay_incident`]). `paper fleet-timeline` ([`run_timeline`])
+//! renders the same windows as an ASCII carrier-occupancy strip chart.
 
 use crate::pipeline::{run_packets, AnyLink, Geometry};
 use crate::report::{f1, f3, pct, Report};
 use crate::throughput::ExcitationProfile;
 use msc_core::overlay::{params_for, Mode};
-use msc_fleet::engine::{EnergyModel, FleetConfig, FleetResult};
+use msc_fleet::engine::{run_with, EnergyModel, FleetConfig, FleetResult};
 use msc_fleet::link::LinkTable;
 use msc_fleet::mac::{Backoff, MacPolicy};
+use msc_fleet::obs::{Detectors, MacTrace};
 use msc_fleet::traffic::{Arrivals, Stream};
+use msc_obs::export::json_escape;
 use msc_obs::stats::{classify, DiffClass, Proportion, Z99};
 use msc_phy::protocol::Protocol;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Tag deployment band: placements map `u ∈ [0, 1)` onto LoS distances
 /// `[2, 18) m` — inside every protocol's usable range, so starvation
@@ -50,6 +63,53 @@ pub fn set_phy_check(on: bool) {
 /// Whether the `--fleet-phy` validation pass is enabled (archive hash).
 pub fn phy_check() -> bool {
     PHY_CHECK.load(Ordering::Relaxed)
+}
+
+/// MAC event tracing: on when the event sink or `--metrics-out` is
+/// active. Tracing is observational only — the engine result and the
+/// report are byte-identical either way — so, like `--trace` and
+/// `--profile`, it stays outside the archive config hash.
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables MAC event tracing for the fleet scenarios.
+pub fn set_trace(on: bool) {
+    TRACE.store(on, Ordering::Relaxed);
+}
+
+/// Whether MAC event tracing is enabled.
+pub fn trace_on() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Flight-recorder incidents flagged during traced fleet runs:
+/// `(slug, bundle_json)` pairs the `paper` driver writes under
+/// `<metrics-out>/flight/`.
+static INCIDENTS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Drains the incidents recorded since the last call.
+pub fn take_incidents() -> Vec<(String, String)> {
+    std::mem::take(&mut *INCIDENTS.lock().unwrap())
+}
+
+/// Cap on events embedded per incident bundle.
+const INCIDENT_EVENT_CAP: usize = 512;
+
+/// Detector thresholds, overridable per run: `MSC_FLEET_STARVE_S`
+/// (seconds without a delivery before a tag counts as starved) and
+/// `MSC_FLEET_COLLISION_RATE` (per-window collision fraction).
+fn detectors() -> Detectors {
+    let env = |name: &str, default: f64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v: &f64| v > 0.0)
+            .unwrap_or(default)
+    };
+    Detectors {
+        starve_s: env("MSC_FLEET_STARVE_S", 30.0),
+        collision_rate: env("MSC_FLEET_COLLISION_RATE", 0.5),
+        min_attempts: 50,
+    }
 }
 
 /// Simulated horizon for the `fleet` scenario rows, seconds.
@@ -126,7 +186,13 @@ fn paper_cfg(policy: MacPolicy, energy: Option<EnergyModel>, seed: u64) -> Fleet
 }
 
 /// Appends one scenario row (+ stats and gauges) to the report.
-fn push_row(report: &mut Report, policy: MacPolicy, energy_label: &'static str, r: &FleetResult) {
+fn push_row(
+    report: &mut Report,
+    policy: MacPolicy,
+    energy_label: &'static str,
+    carriers: &[Stream],
+    r: &FleetResult,
+) {
     let key = format!("fleet/paper/{}/{}", policy.label(), energy_label);
     report.keyed_row(
         &key,
@@ -150,11 +216,194 @@ fn push_row(report: &mut Report, policy: MacPolicy, energy_label: &'static str, 
     g("fleet.throughput_bps", policy.label(), energy_label, r.throughput_bps());
     g("fleet.collision_rate", policy.label(), energy_label, r.collision_rate());
     g("fleet.starvation_rate", policy.label(), energy_label, r.starvation_rate());
+    // Per-carrier breakdown under the scenario row's key: the metric
+    // Key's experiment field is dynamic, so scope it around the
+    // emission and keep the protocol label as the (static) label.
+    let saved = msc_obs::metrics::current_experiment();
+    msc_obs::metrics::set_experiment(&key);
+    for (c, s) in carriers.iter().enumerate() {
+        let t = &r.per_carrier[c];
+        g("fleet.carrier.packets", s.protocol.label(), "", t.packets as f64);
+        g("fleet.carrier.delivered", s.protocol.label(), "", t.delivered as f64);
+        g(
+            "fleet.carrier.collision_rate",
+            s.protocol.label(),
+            "",
+            t.collided_attempts as f64 / t.attempts.max(1) as f64,
+        );
+        g("fleet.carrier.utilization", s.protocol.label(), "", t.utilization());
+    }
+    msc_obs::metrics::set_experiment(&saved);
+}
+
+/// Streams one traced scenario's window aggregates: a `fleet_window`
+/// event per ~1 s window (when the sink is open) plus window-level
+/// summary gauges joined to the same scenario key.
+fn export_windows(key: &str, carriers: &[Stream], tr: &MacTrace) {
+    if msc_obs::events::enabled() {
+        for (w, win) in tr.windows.iter().enumerate() {
+            let mut per_carrier = String::new();
+            for (c, s) in carriers.iter().enumerate() {
+                if c > 0 {
+                    per_carrier.push(',');
+                }
+                per_carrier.push_str(&format!(
+                    "{{\"proto\":\"{}\",\"packets\":{},\"mods\":{},\"delivered\":{},\"collided\":{}}}",
+                    json_escape(s.protocol.label()),
+                    win.packets[c],
+                    win.modulated[c],
+                    win.delivered[c],
+                    win.collided[c]
+                ));
+            }
+            msc_obs::events::emit(
+                "fleet_window",
+                &format!(
+                    "\"scenario\":\"{}\",\"w\":{},\"t0\":{:?},\"t1\":{:?},\"offered\":{},\
+                     \"delivered\":{},\"attempts\":{},\"collided\":{},\"starved\":{},\
+                     \"max_queue\":{},\"jain\":{:.4},\"util\":{:.4},\"carriers\":[{}]",
+                    json_escape(key),
+                    w,
+                    win.t0,
+                    win.t1,
+                    win.offered,
+                    win.delivered_total(),
+                    win.attempts_total(),
+                    win.collided.iter().map(|&x| x as u64).sum::<u64>(),
+                    win.starved,
+                    win.max_queue,
+                    win.jain,
+                    win.utilization(),
+                    per_carrier
+                ),
+                "",
+            );
+        }
+    }
+    let worst_collision = tr.windows.iter().map(|w| w.collision_rate()).fold(0.0, f64::max);
+    let min_jain =
+        tr.windows.iter().filter(|w| w.delivered_total() > 0).map(|w| w.jain).fold(1.0, f64::min);
+    let max_queue = tr.windows.iter().map(|w| w.max_queue).max().unwrap_or(0);
+    let saved = msc_obs::metrics::current_experiment();
+    msc_obs::metrics::set_experiment(key);
+    let g = msc_obs::metrics::gauge_set;
+    g("fleet.win.count", "", "", tr.windows.len() as f64);
+    g("fleet.win.worst_collision_rate", "", "", worst_collision);
+    g("fleet.win.min_jain", "", "", min_jain);
+    g("fleet.win.max_queue", "", "", max_queue as f64);
+    g("fleet.win.incidents", "", "", tr.incidents.len() as f64);
+    g("fleet.win.incidents_suppressed", "", "", tr.incidents_suppressed as f64);
+    msc_obs::metrics::set_experiment(&saved);
+}
+
+/// Serializes one replayable incident bundle: everything
+/// [`replay_incident`] needs to rebuild the scenario (the engine config
+/// and calibration inputs) plus the rendered event subsequence the
+/// replay must reproduce. Events are embedded as strings so the
+/// comparison is byte-exact.
+#[allow(clippy::too_many_arguments)]
+fn incident_json(
+    scenario: &str,
+    reason: &str,
+    cfg: &FleetConfig,
+    cal_n: usize,
+    tag: Option<u32>,
+    t0: f64,
+    t1: f64,
+    events: &[String],
+    truncated: u64,
+) -> String {
+    let energy = match cfg.energy {
+        Some(e) => format!("{{\"charge_s\":{:?},\"run_s\":{:?}}}", e.charge_s, e.run_s),
+        None => "null".to_string(),
+    };
+    let carriers: Vec<String> =
+        cfg.carriers.iter().map(|s| format!("\"{}\"", json_escape(s.protocol.label()))).collect();
+    let events_json: Vec<String> =
+        events.iter().map(|e| format!("\"{}\"", json_escape(e))).collect();
+    format!(
+        "{{\"schema_version\":{},\"kind\":\"fleet_incident\",\"reason\":\"{}\",\
+         \"scenario\":\"{}\",\"policy\":\"{}\",\"energy\":{},\"tags\":{},\"horizon_s\":{:?},\
+         \"reading_rate\":{:?},\"reading_bits\":{},\"queue_cap\":{},\"sample_every\":{},\
+         \"seed\":{},\"cal_n\":{},\"backoff\":{{\"cw_min\":{},\"cw_max\":{},\"max_retries\":{}}},\
+         \"carriers\":[{}],\"tag\":{},\"t0\":{:?},\"t1\":{:?},\"truncated\":{},\"events\":[{}]}}",
+        msc_obs::SCHEMA_VERSION,
+        json_escape(reason),
+        json_escape(scenario),
+        json_escape(cfg.policy.label()),
+        energy,
+        cfg.tags,
+        cfg.horizon_s,
+        cfg.readings.mean_rate(),
+        cfg.reading_bits,
+        cfg.queue_cap,
+        cfg.sample_every,
+        cfg.seed,
+        cal_n,
+        cfg.backoff.cw_min,
+        cfg.backoff.cw_max,
+        cfg.backoff.max_retries,
+        carriers.join(","),
+        tag.map(|g| g.to_string()).unwrap_or_else(|| "null".to_string()),
+        t0,
+        t1,
+        truncated,
+        events_json.join(",")
+    )
+}
+
+/// Queues one traced scenario's detector incidents as replayable
+/// bundles (and mirrors each into the event stream).
+fn record_incidents(scenario: &str, cfg: &FleetConfig, cal_n: usize, tr: &MacTrace) {
+    let mut q = INCIDENTS.lock().unwrap();
+    for inc in &tr.incidents {
+        let (events, truncated) = tr.subsequence(inc.tag, inc.t0, inc.t1, INCIDENT_EVENT_CAP);
+        if msc_obs::events::enabled() {
+            msc_obs::events::emit(
+                "fleet_incident",
+                &format!(
+                    "\"scenario\":\"{}\",\"reason\":\"{}\",\"tag\":{},\"t0\":{:?},\"t1\":{:?},\
+                     \"events\":{}",
+                    json_escape(scenario),
+                    json_escape(&inc.reason),
+                    inc.tag.map(|g| g.to_string()).unwrap_or_else(|| "null".to_string()),
+                    inc.t0,
+                    inc.t1,
+                    events.len()
+                ),
+                "",
+            );
+        }
+        let slug = format!("{:02}_{}", q.len(), inc.reason);
+        q.push((
+            slug,
+            incident_json(
+                scenario,
+                &inc.reason,
+                cfg,
+                cal_n,
+                inc.tag,
+                inc.t0,
+                inc.t1,
+                &events,
+                truncated,
+            ),
+        ));
+    }
 }
 
 /// Replays sampled fleet attempts through the full waveform pipeline
 /// and classifies abstraction-vs-pipeline divergence per protocol.
-fn phy_validation(report: &mut Report, r: &FleetResult, n: usize, seed: u64) {
+/// DIVERGENT verdicts on a traced run additionally queue a
+/// `phy_divergent` incident bundle carrying the suspect tag's events.
+fn phy_validation(
+    report: &mut Report,
+    r: &FleetResult,
+    cfg: &FleetConfig,
+    tr: Option<&MacTrace>,
+    n: usize,
+    seed: u64,
+) {
     report.note("--fleet-phy: replaying sampled attempts through the full waveform pipeline.");
     for p in Protocol::ALL {
         // Pool this protocol's sampled attempts around one representative
@@ -182,6 +431,29 @@ fn phy_validation(report: &mut Report, r: &FleetResult, n: usize, seed: u64) {
             DiffClass::Significant => "DIVERGENT",
             _ => "consistent",
         };
+        if verdict == "DIVERGENT" {
+            if let Some(tr) = tr {
+                let scenario = format!("fleet/paper/{}/mains", cfg.policy.label());
+                let (events, truncated) =
+                    tr.subsequence(Some(first.tag), 0.0, cfg.horizon_s, INCIDENT_EVENT_CAP);
+                let mut q = INCIDENTS.lock().unwrap();
+                let slug = format!("{:02}_phy_divergent", q.len());
+                q.push((
+                    slug,
+                    incident_json(
+                        &scenario,
+                        "phy_divergent",
+                        cfg,
+                        n,
+                        Some(first.tag),
+                        0.0,
+                        cfg.horizon_s,
+                        &events,
+                        truncated,
+                    ),
+                ));
+            }
+        }
         report.note(format!(
             "phy-check {} tag {} @ {:.1} m: abstraction PER {}/{} vs pipeline {}/{} → {}",
             p.label(),
@@ -208,15 +480,29 @@ pub fn run(n: usize, seed: u64) -> Report {
     );
     let outdoor = EnergyModel::from_harvest(msc_analog::harvester::Light::paper_outdoor(), LOAD_W);
     let mut total_packets = 0u64;
-    let mut best_mains: Option<FleetResult> = None;
+    let mut best_mains: Option<(FleetConfig, FleetResult, Option<MacTrace>)> = None;
+    let traced = trace_on();
+    let det = detectors();
     for policy in MacPolicy::ALL {
         for (energy_label, energy) in [("mains", None), ("outdoor-harvest", Some(outdoor))] {
             let cfg = paper_cfg(policy, energy, seed);
-            let r = msc_fleet::engine::run(&cfg, &table, place_snr_db);
+            let (r, tr) = if traced {
+                let mut tr = MacTrace::new(cfg.tags, cfg.carriers.len(), 1.0, det);
+                let r = run_with(&cfg, &table, place_snr_db, &mut tr);
+                tr.finish();
+                (r, Some(tr))
+            } else {
+                (msc_fleet::engine::run(&cfg, &table, place_snr_db), None)
+            };
             total_packets += r.carrier_packets;
-            push_row(&mut report, policy, energy_label, &r);
+            push_row(&mut report, policy, energy_label, &cfg.carriers, &r);
+            if let Some(tr) = &tr {
+                let key = format!("fleet/paper/{}/{}", policy.label(), energy_label);
+                export_windows(&key, &cfg.carriers, tr);
+                record_incidents(&key, &cfg, n, tr);
+            }
             if policy == MacPolicy::BestGoodput && energy.is_none() {
-                best_mains = Some(r);
+                best_mains = Some((cfg, r, tr));
             }
         }
     }
@@ -229,11 +515,231 @@ pub fn run(n: usize, seed: u64) -> Report {
          next-best carrier on retry; outdoor-harvest follows the §3 BQ25570 charge/run rounds.",
     );
     if PHY_CHECK.load(Ordering::Relaxed) {
-        if let Some(r) = &best_mains {
-            phy_validation(&mut report, r, n, seed);
+        if let Some((cfg, r, tr)) = &best_mains {
+            phy_validation(&mut report, r, cfg, tr.as_ref(), n, seed);
         }
     }
     report
+}
+
+/// Runs the `fleet-timeline` workload: the best-goodput mains scenario
+/// traced in 1 s windows, rendered as one report row per window (keys
+/// `fleet/win/<w>`, CSV-exportable through the schema-v3 report path)
+/// plus ASCII carrier-occupancy strips and per-tag activity notes.
+pub fn run_timeline(n: usize, seed: u64) -> Report {
+    let n = n.max(8);
+    let table = calibrate(n, seed);
+    let horizon = horizon_s().min(30.0);
+    let cfg = FleetConfig { horizon_s: horizon, ..paper_cfg(MacPolicy::BestGoodput, None, seed) };
+    let mut tr = MacTrace::new(cfg.tags, cfg.carriers.len(), 1.0, detectors());
+    let r = run_with(&cfg, &table, place_snr_db, &mut tr);
+    tr.finish();
+    let mut report = Report::new(
+        format!(
+            "fleet-timeline — best-goodput mains, {} tags, {horizon:.0} s in 1 s windows",
+            cfg.tags
+        ),
+        &["win", "t0", "pkts", "delivered", "collisions", "util", "queue", "Jain"],
+    );
+    for (w, win) in tr.windows.iter().enumerate() {
+        let pkts: u64 = win.packets.iter().map(|&x| x as u64).sum();
+        report.keyed_row(
+            format!("fleet/win/{w}"),
+            &[
+                w.to_string(),
+                format!("{:.0}", win.t0),
+                pkts.to_string(),
+                win.delivered_total().to_string(),
+                pct(win.collision_rate()),
+                pct(win.utilization()),
+                win.max_queue.to_string(),
+                f3(win.jain),
+            ],
+        );
+    }
+    export_windows("fleet/timeline", &cfg.carriers, &tr);
+    // Carrier occupancy strip chart: one character per window per
+    // carrier, ' ' (idle) through '@' (every packet modulated).
+    const LEVELS: &[u8] = b" .:-=+*#%@";
+    for (c, s) in cfg.carriers.iter().enumerate() {
+        let strip: String = tr
+            .windows
+            .iter()
+            .map(|w| {
+                let u = w.modulated[c] as f64 / w.packets[c].max(1) as f64;
+                let i = (u * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[i.min(LEVELS.len() - 1)] as char
+            })
+            .collect();
+        report.note(format!("occupancy {:>8} |{strip}|", s.protocol.label()));
+    }
+    let mut by_delivered: Vec<(u32, u32)> =
+        r.per_tag_delivered.iter().enumerate().map(|(g, &d)| (g as u32, d)).collect();
+    by_delivered.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let busiest: Vec<String> =
+        by_delivered.iter().take(5).map(|(g, d)| format!("tag {g}\u{00d7}{d}")).collect();
+    let silent = r.per_tag_delivered.iter().filter(|&&d| d == 0).count();
+    report.note(format!(
+        "busiest tags: {}; {silent} of {} tags delivered nothing.",
+        busiest.join(", "),
+        cfg.tags
+    ));
+    report.note(format!(
+        "occupancy scale ' .:-=+*#%@' maps 0 → 100% of that carrier's packets modulated; \
+         {} incident(s) flagged.",
+        tr.incidents.len()
+    ));
+    report
+}
+
+/// Outcome of replaying one `fleet_incident` bundle.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// Incident reason from the bundle.
+    pub reason: String,
+    /// Scenario key from the bundle.
+    pub scenario: String,
+    /// Events the bundle recorded.
+    pub expected: usize,
+    /// Positions that differed (unequal, missing, or extra events).
+    pub diffs: usize,
+    /// First differing position with (recorded, replayed) forms.
+    pub first_diff: Option<(usize, String, String)>,
+}
+
+impl ReplayOutcome {
+    /// Whether the replay reproduced the recorded subsequence
+    /// bit-for-bit.
+    pub fn reproduced(&self) -> bool {
+        self.diffs == 0
+    }
+}
+
+/// Re-runs the scenario window captured in a `fleet_incident` bundle
+/// (via the same three-phase derived-seed contract) and verifies the
+/// recorded event subsequence bit-for-bit.
+///
+/// The replay horizon is truncated to just past the incident window —
+/// the carrier/reading arrival processes generate sequentially and the
+/// MAC sweep consumes RNG draws in event order, so events at or before
+/// `t1` are unaffected by anything the original run did afterwards.
+pub fn replay_incident(path: &str) -> Result<ReplayOutcome, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v = msc_obs::export::parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let str_of = |k: &str| {
+        v.get(k)
+            .and_then(|x| x.as_str().map(str::to_string))
+            .ok_or_else(|| format!("bundle missing {k:?}"))
+    };
+    let num_of =
+        |k: &str| v.get(k).and_then(|x| x.as_f64()).ok_or_else(|| format!("bundle missing {k:?}"));
+    if str_of("kind")? != "fleet_incident" {
+        return Err(format!("{path} is not a fleet_incident bundle"));
+    }
+    let policy_label = str_of("policy")?;
+    let policy = *MacPolicy::ALL
+        .iter()
+        .find(|p| p.label() == policy_label)
+        .ok_or_else(|| format!("unknown policy {policy_label:?}"))?;
+    let energy = match v.get("energy") {
+        Some(e) if e.get("charge_s").is_some() => Some(EnergyModel {
+            charge_s: e
+                .get("charge_s")
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| "bundle energy.charge_s is not a number".to_string())?,
+            run_s: e
+                .get("run_s")
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| "bundle energy.run_s is not a number".to_string())?,
+        }),
+        _ => None,
+    };
+    let backoff = v.get("backoff").ok_or_else(|| "bundle missing backoff".to_string())?;
+    let b_of = |k: &str| {
+        backoff.get(k).and_then(|x| x.as_f64()).ok_or_else(|| format!("bundle missing backoff.{k}"))
+    };
+    let carriers = paper_carriers();
+    let want: Vec<String> = v
+        .get("carriers")
+        .and_then(|x| x.as_arr())
+        .ok_or_else(|| "bundle missing carriers".to_string())?
+        .iter()
+        .filter_map(|c| c.as_str().map(str::to_string))
+        .collect();
+    let have: Vec<String> = carriers.iter().map(|s| s.protocol.label().to_string()).collect();
+    if want != have {
+        return Err(format!("bundle carriers {want:?} != this build's {have:?}"));
+    }
+    let t0 = num_of("t0")?;
+    let t1 = num_of("t1")?;
+    let horizon = num_of("horizon_s")?;
+    let reading_rate = num_of("reading_rate")?;
+    // Truncate the replay just past the window (but never below the
+    // mean reading interval, which phase 2 clamps its phase draw by).
+    let replay_horizon = horizon.min((t1 + 1.0).max(1.0 / reading_rate.max(1e-12)));
+    let cfg = FleetConfig {
+        tags: num_of("tags")? as usize,
+        horizon_s: replay_horizon,
+        carriers,
+        readings: Arrivals::Periodic { rate: reading_rate },
+        reading_bits: num_of("reading_bits")? as usize,
+        policy,
+        backoff: Backoff {
+            cw_min: b_of("cw_min")? as u32,
+            cw_max: b_of("cw_max")? as u32,
+            max_retries: b_of("max_retries")? as u32,
+        },
+        energy,
+        queue_cap: num_of("queue_cap")? as usize,
+        sample_every: num_of("sample_every")? as usize,
+        seed: num_of("seed")? as u64,
+    };
+    let tag = v.get("tag").and_then(|x| x.as_f64()).map(|g| g as u32);
+    let recorded: Vec<String> = v
+        .get("events")
+        .and_then(|x| x.as_arr())
+        .ok_or_else(|| "bundle missing events".to_string())?
+        .iter()
+        .filter_map(|e| e.as_str().map(str::to_string))
+        .collect();
+    let recorded_truncated = num_of("truncated")? as u64;
+
+    let table = calibrate(num_of("cal_n")? as usize, cfg.seed);
+    let mut tr = MacTrace::new(cfg.tags, cfg.carriers.len(), 1.0, Detectors::default());
+    run_with(&cfg, &table, place_snr_db, &mut tr);
+    tr.finish();
+    let (replayed, truncated) = tr.subsequence(tag, t0, t1, INCIDENT_EVENT_CAP);
+
+    let mut diffs = 0usize;
+    let mut first_diff = None;
+    let longest = recorded.len().max(replayed.len());
+    for i in 0..longest {
+        let a = recorded.get(i).map(String::as_str).unwrap_or("<missing>");
+        let b = replayed.get(i).map(String::as_str).unwrap_or("<missing>");
+        if a != b {
+            diffs += 1;
+            if first_diff.is_none() {
+                first_diff = Some((i, a.to_string(), b.to_string()));
+            }
+        }
+    }
+    if truncated != recorded_truncated {
+        diffs += 1;
+        if first_diff.is_none() {
+            first_diff = Some((
+                longest,
+                format!("truncated={recorded_truncated}"),
+                format!("truncated={truncated}"),
+            ));
+        }
+    }
+    Ok(ReplayOutcome {
+        reason: str_of("reason")?,
+        scenario: str_of("scenario")?,
+        expected: recorded.len(),
+        diffs,
+        first_diff,
+    })
 }
 
 /// Runs the `fleet-scale` workload: tags × horizon scaling of the
@@ -303,6 +809,59 @@ mod tests {
         // Combined supply must cover ≥ 1M packets at the default horizon.
         let rate: f64 = carriers.iter().map(|c| c.arrivals.mean_rate()).sum();
         assert!(rate * 180.0 > 1.0e6, "combined rate {rate} pkt/s");
+    }
+
+    #[test]
+    fn incident_bundle_replays_bit_for_bit() {
+        std::env::set_var("MSC_FLEET_HORIZON_S", "2.0");
+        let seed = 42;
+        let table = calibrate(8, seed);
+        // Harvest-limited round (charge 1.5 s / run 0.25 s) plus a 1 s
+        // starvation threshold forces tag_starved incidents fast.
+        let energy = EnergyModel { charge_s: 1.5, run_s: 0.25 };
+        let cfg = paper_cfg(MacPolicy::BestGoodput, Some(energy), seed);
+        let det = Detectors { starve_s: 1.0, ..Detectors::default() };
+        let mut tr = MacTrace::new(cfg.tags, cfg.carriers.len(), 1.0, det);
+        run_with(&cfg, &table, place_snr_db, &mut tr);
+        tr.finish();
+        assert!(!tr.incidents.is_empty(), "harvest-limited config must starve a tag");
+        let inc = &tr.incidents[0];
+        assert_eq!(inc.reason, "tag_starved");
+        let (events, truncated) = tr.subsequence(inc.tag, inc.t0, inc.t1, INCIDENT_EVENT_CAP);
+        assert!(!events.is_empty(), "a starved tag has at least its starved readings");
+        let json = incident_json(
+            "fleet/paper/best-goodput/outdoor-harvest",
+            &inc.reason,
+            &cfg,
+            8,
+            inc.tag,
+            inc.t0,
+            inc.t1,
+            &events,
+            truncated,
+        );
+        msc_obs::export::parse_json(&json).expect("bundle is valid JSON");
+        let path =
+            std::env::temp_dir().join(format!("msc_incident_test_{}.json", std::process::id()));
+        std::fs::write(&path, &json).unwrap();
+        let out = replay_incident(path.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(out.reason, "tag_starved");
+        assert_eq!(out.expected, events.len());
+        assert!(out.reproduced(), "first diff: {:?}", out.first_diff);
+    }
+
+    #[test]
+    fn timeline_renders_windows_and_occupancy() {
+        std::env::set_var("MSC_FLEET_HORIZON_S", "2.0");
+        let r = run_timeline(8, 42);
+        assert!(r.len() >= 2, "at least two 1 s windows, got {}", r.len());
+        let rendered = r.render();
+        assert!(rendered.contains("occupancy"), "{rendered}");
+        assert!(rendered.contains("busiest tags"), "{rendered}");
+        for p in Protocol::ALL {
+            assert!(rendered.contains(p.label()), "missing {} strip", p.label());
+        }
     }
 
     #[test]

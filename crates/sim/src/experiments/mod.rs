@@ -93,6 +93,12 @@ pub const REGISTRY: &[Experiment] = &[
     exp("tab4-dyn", "event-driven energy lifecycle (dynamic Table 4)", 0, energy_dyn::run),
     exp("fleet", "deployment fleet: 500 tags × 4 carriers, MAC policies", 8, fleet::run),
     exp("fleet-scale", "fleet scaling: deployment size sweep (best-goodput)", 8, fleet::run_scale),
+    exp(
+        "fleet-timeline",
+        "fleet MAC timeline: 1 s windows + carrier occupancy",
+        8,
+        fleet::run_timeline,
+    ),
 ];
 
 /// Looks up an experiment by id.
@@ -133,6 +139,7 @@ mod tests {
                 "fig18-dyn" => ("fig18.rs".into(), "run_dynamic".into()),
                 "fleet" => ("fleet.rs".into(), "run".into()),
                 "fleet-scale" => ("fleet.rs".into(), "run_scale".into()),
+                "fleet-timeline" => ("fleet.rs".into(), "run_timeline".into()),
                 t if t.starts_with("tab") => ("tables.rs".into(), t.into()),
                 t if t.starts_with("ext-") => ("extensions.rs".into(), t.replace('-', "_")),
                 t if t.starts_with("abl-") => ("ablations.rs".into(), t.replace('-', "_")),

@@ -692,6 +692,21 @@ fn run_packets_inner(
     }
     let target_index = replay.map(|(_, i)| i);
 
+    // Cell boundary events run on the (sequential) per-cell caller
+    // thread, so their order — and every field before "wall" — is
+    // thread-count invariant.
+    if msc_obs::events::enabled() {
+        msc_obs::events::emit(
+            "cell_start",
+            &format!(
+                "\"cell\":\"{}\",\"proto\":\"{}\",\"requested\":{n}",
+                msc_obs::export::json_escape(cell),
+                link.protocol().label()
+            ),
+            "",
+        );
+    }
+
     let exc = {
         let _prep = msc_obs::profile::scope("cell.prepare");
         crate::wavecache::CellExcitation::prepare(link, mode, n_productive, seed, cell)
@@ -783,12 +798,34 @@ fn run_packets_inner(
         }
         if let Some(p) = stopping {
             if outs.len() < n && (p.decide)(&outs) {
+                if msc_obs::events::enabled() {
+                    msc_obs::events::emit(
+                        "early_stop",
+                        &format!(
+                            "\"cell\":\"{}\",\"trials\":{},\"requested\":{n}",
+                            msc_obs::export::json_escape(cell),
+                            outs.len()
+                        ),
+                        "",
+                    );
+                }
                 break;
             }
         }
     }
     msc_obs::progress::add_cell();
     msc_obs::progress::add_trials(outs.len() as u64);
+    if msc_obs::events::enabled() {
+        msc_obs::events::emit(
+            "cell_done",
+            &format!(
+                "\"cell\":\"{}\",\"trials\":{},\"requested\":{n}",
+                msc_obs::export::json_escape(cell),
+                outs.len()
+            ),
+            "",
+        );
+    }
     outs
 }
 
